@@ -1,0 +1,108 @@
+// Experiment CL — client-perceived latency and goodput (system-level view
+// of the paper's liveness claim): what a *user* of the service observes
+// with DiemBFT vs the asynchronous-fallback protocol when the network
+// goes through a bad period.
+//
+// Network: synchronous for 10s, leader-attack asynchronous for 20s,
+// synchronous again for 10s. Confirm rule: f+1 acks.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "client/client_swarm.h"
+
+using namespace repro;
+using namespace repro::client;
+using namespace repro::harness;
+
+namespace {
+
+constexpr SimTime kSec = 1'000'000;
+constexpr SimTime kBadStart = 10 * kSec;
+constexpr SimTime kBadEnd = 30 * kSec;
+constexpr SimTime kEnd = 40 * kSec;
+
+struct Outcome {
+  std::uint64_t confirmed_good1 = 0, confirmed_bad = 0, confirmed_good2 = 0;
+  double p50_good_ms = 0, p99_all_ms = 0;
+  std::uint64_t unconfirmed_at_end = 0;
+};
+
+Outcome run(Protocol p, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.n = 4;
+  cfg.protocol = p;
+  cfg.seed = seed;
+  cfg.scenario = NetScenario::kLeaderAttack;
+  cfg.attack_delay = 5'000'000;
+
+  ClientConfig ccfg;
+  ccfg.num_clients = 4;
+  ccfg.submit_interval = 100'000;
+  ccfg.retry_timeout = 3'000'000;
+
+  auto pools = std::make_shared<TxnPools>(cfg.n, ccfg.max_batch_txns);
+  cfg.payload_factory = [pools](ReplicaId id) { return pools->next_batch(id); };
+
+  Experiment exp(cfg);
+  auto* attack =
+      dynamic_cast<net::AdaptiveLeaderAttackModel*>(&exp.network().delay_model());
+  auto& simref = exp.sim();
+  auto& e = exp;
+  attack->set_targets_fn([&simref, &e]() {
+    std::set<ReplicaId> targets;
+    if (simref.now() < kBadStart || simref.now() >= kBadEnd) return targets;
+    for (ReplicaId id = 0; id < e.n(); ++id) {
+      targets.insert(core::round_leader(e.replica(id).current_round(), e.n(),
+                                        e.config().pcfg.leader_rotation));
+    }
+    return targets;
+  });
+
+  ClientSwarm swarm(exp, pools, ccfg, seed ^ 0xabc);
+  exp.start();
+  swarm.start();
+
+  Outcome out;
+  exp.sim().run_until(kBadStart);
+  out.confirmed_good1 = swarm.stats().confirmed;
+  exp.sim().run_until(kBadEnd);
+  out.confirmed_bad = swarm.stats().confirmed - out.confirmed_good1;
+  exp.sim().run_until(kEnd);
+  out.confirmed_good2 = swarm.stats().confirmed - out.confirmed_good1 - out.confirmed_bad;
+  out.unconfirmed_at_end = swarm.in_flight();
+
+  auto lats = swarm.stats().confirm_latencies_us;
+  if (!lats.empty()) {
+    std::vector<SimTime> sorted = lats;
+    std::sort(sorted.begin(), sorted.end());
+    out.p50_good_ms = sorted[sorted.size() / 2] / 1000.0;
+    out.p99_all_ms = sorted[sorted.size() * 99 / 100] / 1000.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("CL: client-perceived service quality through a bad-network window\n");
+  std::printf("  [0,10s) good | [10s,30s) leader-attack | [30s,40s) good; n=4\n");
+  std::printf("==============================================================\n\n");
+  std::printf("  %-22s %12s %12s %12s %10s %10s %12s\n", "protocol", "conf(good1)",
+              "conf(bad)", "conf(good2)", "p50 ms", "p99 ms", "stuck@end");
+  for (auto [p, label] : {std::pair{Protocol::kDiemBft, "DiemBFT"},
+                          std::pair{Protocol::kFallback3, "Ours (Fig 2)"},
+                          std::pair{Protocol::kFallback2, "Ours 2-chain"}}) {
+    const Outcome o = run(p, 55);
+    std::printf("  %-22s %12llu %12llu %12llu %10.1f %10.1f %12llu\n", label,
+                static_cast<unsigned long long>(o.confirmed_good1),
+                static_cast<unsigned long long>(o.confirmed_bad),
+                static_cast<unsigned long long>(o.confirmed_good2), o.p50_good_ms,
+                o.p99_all_ms, static_cast<unsigned long long>(o.unconfirmed_at_end));
+  }
+  std::printf("\nReading: during the bad window DiemBFT confirms ~0 transactions\n");
+  std::printf("(they pile up as stuck/in-flight until recovery); the fallback\n");
+  std::printf("protocols keep confirming, at fallback (quadratic-path) latency.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Experiments F2/F3, L7 and OPT — anatomy of the asynchronous fallback
+// (paper Figures 2-3, Lemma 7, and the §3 "Optimization in Practice").
+//
+// Measures, over many seeded asynchronous runs:
+//  * fallback termination (every entered fallback exits — Lemma 7),
+//  * empirical commit probability per fallback vs the 2/3 bound,
+//  * fallback duration (enter -> exit) with and without chain adoption,
+//  * message-type breakdown of one fallback (who pays the n^2).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "smr/messages.h"
+
+using namespace repro;
+using namespace repro::harness;
+
+namespace {
+
+struct FallbackStats {
+  int views = 0;
+  int views_with_commit = 0;
+  std::uint64_t entered = 0;
+  std::uint64_t exited = 0;
+  std::uint64_t fallback_time_us = 0;  ///< summed enter->exit durations
+
+  double mean_duration_ms() const {
+    return exited ? double(fallback_time_us) / exited / 1000.0 : 0.0;
+  }
+};
+
+FallbackStats measure(Protocol p, std::uint32_t n, int seeds, std::size_t commits,
+                      std::uint32_t crashes = 0) {
+  FallbackStats agg;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    ExperimentConfig cfg;
+    cfg.n = n;
+    cfg.protocol = p;
+    cfg.scenario = NetScenario::kAsynchronous;
+    cfg.seed = 7000 + seed;
+    for (std::uint32_t c = 0; c < crashes; ++c) {
+      cfg.faults[n - 1 - c] = core::FaultKind::kCrash;
+    }
+    Experiment exp(cfg);
+    exp.start();
+    exp.run_until_commits(commits, 30'000'000'000ull);
+
+    std::set<View> commit_views;
+    for (const auto& rec : exp.replica(0).ledger().records()) {
+      if (rec.height > 0) commit_views.insert(rec.view);
+    }
+    agg.views += static_cast<int>(exp.replica(0).current_view());
+    agg.views_with_commit += static_cast<int>(commit_views.size());
+    for (ReplicaId id = 0; id < n; ++id) {
+      if (!exp.is_honest(id)) continue;
+      agg.entered += exp.replica(id).stats().fallbacks_entered;
+      agg.exited += exp.replica(id).stats().fallbacks_exited;
+      agg.fallback_time_us += exp.replica(id).stats().fallback_time_total_us;
+    }
+  }
+  return agg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("F2/F3 + L7 + OPT: asynchronous fallback anatomy (Figures 2-3)\n");
+  std::printf("==============================================================\n\n");
+
+  std::printf("--- Lemma 7: termination & commit probability per fallback -----\n");
+  std::printf("    (with f crashed replicas, f of the n fallback-chains never\n");
+  std::printf("    complete, so the coin misses with probability ~f/n; the paper's\n");
+  std::printf("    bound P >= 2/3 is the worst case) ---------------------------\n\n");
+  struct L7Row {
+    std::uint32_t n;
+    std::uint32_t crashes;
+  };
+  for (const L7Row row : {L7Row{4, 0}, L7Row{7, 0}, L7Row{10, 0}, L7Row{4, 1}, L7Row{7, 2},
+                          L7Row{10, 3}}) {
+    const FallbackStats st = measure(Protocol::kFallback3, row.n, 10, 6, row.crashes);
+    const double p_commit = st.views ? double(st.views_with_commit) / st.views : 0;
+    std::printf("  n=%-3u crashes=%-2u views=%-4d committed-in-view=%-4d P(commit)=%.2f\n",
+                row.n, row.crashes, st.views, st.views_with_commit, p_commit);
+    std::printf("        fallbacks entered=%llu exited=%llu (in-flight at cutoff: %llu)\n",
+                static_cast<unsigned long long>(st.entered),
+                static_cast<unsigned long long>(st.exited),
+                static_cast<unsigned long long>(st.entered - st.exited));
+  }
+
+  std::printf("\n--- OPT (Section 3): chain adoption speeds up the fallback -----\n\n");
+  std::printf("  mean fallback duration (enter -> exit) under asynchrony:\n");
+  std::printf("  (plain waits for the 2f+1-th fastest replica's own chain; adoption\n");
+  std::printf("  proceeds at the speed of the fastest chain)\n");
+  for (std::uint32_t n : {7u, 10u}) {
+    const FallbackStats plain = measure(Protocol::kFallback3, n, 8, 5);
+    const FallbackStats adopt = measure(Protocol::kFallback3Adopt, n, 8, 5);
+    std::printf("    n=%-3u plain: %8.1f ms (%llu fallbacks)   adoption: %8.1f ms (%llu fallbacks)\n",
+                n, plain.mean_duration_ms(),
+                static_cast<unsigned long long>(plain.exited), adopt.mean_duration_ms(),
+                static_cast<unsigned long long>(adopt.exited));
+  }
+
+  std::printf("\n--- fallback duration vs n (async adversary; O(n) message stages\n");
+  std::printf("    but more straggler order-statistics as n grows) ------------\n\n");
+  std::printf("    %-6s %18s %14s\n", "n", "mean duration ms", "fallbacks");
+  for (std::uint32_t n : {4u, 7u, 10u, 13u}) {
+    const FallbackStats st = measure(Protocol::kFallback3, n, 6, 4);
+    std::printf("    %-6u %18.1f %14llu\n", n, st.mean_duration_ms(),
+                static_cast<unsigned long long>(st.exited));
+  }
+
+  std::printf("\n--- message breakdown of asynchronous operation (n=7) ----------\n\n");
+  {
+    ExperimentConfig cfg;
+    cfg.n = 7;
+    cfg.protocol = Protocol::kFallback3;
+    cfg.scenario = NetScenario::kAsynchronous;
+    cfg.seed = 5;
+    Experiment exp(cfg);
+    exp.start();
+    exp.run_until_commits(5, 30'000'000'000ull);
+    const auto& st = exp.network().stats();
+    struct Tag {
+      smr::MsgType t;
+      const char* name;
+    };
+    const Tag tags[] = {
+        {smr::MsgType::kProposal, "proposals"},    {smr::MsgType::kVote, "votes"},
+        {smr::MsgType::kFbTimeout, "fb-timeouts"}, {smr::MsgType::kFbProposal, "f-blocks"},
+        {smr::MsgType::kFbVote, "f-votes"},        {smr::MsgType::kFbQc, "f-QCs"},
+        {smr::MsgType::kCoinShare, "coin-shares"}, {smr::MsgType::kCoinQc, "coin-QCs"},
+        {smr::MsgType::kBlockRequest, "block-req"},
+        {smr::MsgType::kBlockResponse, "block-resp"},
+    };
+    for (const auto& tag : tags) {
+      const auto i = static_cast<std::size_t>(tag.t);
+      if (st.messages_by_type[i] == 0) continue;
+      std::printf("    %-12s %10llu msgs %12llu bytes\n", tag.name,
+                  static_cast<unsigned long long>(st.messages_by_type[i]),
+                  static_cast<unsigned long long>(st.bytes_by_type[i]));
+    }
+    std::printf("    %-12s %10llu msgs %12llu bytes over %zu decisions\n", "total",
+                static_cast<unsigned long long>(st.messages),
+                static_cast<unsigned long long>(st.bytes), exp.min_honest_commits());
+  }
+
+  std::printf("\nReading: P(commit) ~1 with all-honest replicas and ~(n-f)/n with f\n");
+  std::printf("crashes (the Lemma 7 worst-case bound is 2/3; single-replica\n");
+  std::printf("measurement at a finite cutoff can dip slightly below it); adoption\n");
+  std::printf("should cut the mean fallback duration; cost is dominated by the n^2\n");
+  std::printf("fallback traffic (f-votes / timeouts / coin shares).\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Experiment LIVE — the paper's headline story as a timeline (intro +
+// Theorem 8): the network is good, turns bad, then recovers.
+//
+//   phase 1 [0,  20s): synchrony            — both protocols commit
+//   phase 2 [20s, 60s): leader-attack async — DiemBFT stalls; ours falls
+//                                             back and keeps committing
+//   phase 3 [60s, 90s): synchrony again     — DiemBFT resumes; ours
+//                                             returns to the linear path
+//
+// Prints committed-blocks-per-2s series for both protocols — the figure a
+// full paper would plot.
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiment.h"
+
+using namespace repro;
+using namespace repro::harness;
+
+namespace {
+
+constexpr SimTime kSec = 1'000'000;
+constexpr SimTime kPhase2 = 20 * kSec;
+constexpr SimTime kPhase3 = 60 * kSec;
+constexpr SimTime kEnd = 90 * kSec;
+constexpr SimTime kBucket = 2 * kSec;
+
+std::vector<std::size_t> commit_series(Protocol p, std::uint64_t seed,
+                                       std::uint64_t* fallbacks) {
+  ExperimentConfig cfg;
+  cfg.n = 4;
+  cfg.protocol = p;
+  cfg.seed = seed;
+  cfg.scenario = NetScenario::kLeaderAttack;  // builds the attack model
+  cfg.attack_delay = 5'000'000;  // 5s >> max timeout backoff (3.2s)
+  Experiment exp(cfg);
+
+  // Swap phases by toggling the attack window: before kPhase2 and after
+  // kPhase3 the attack function returns no targets (pure synchrony).
+  auto* attack = dynamic_cast<net::AdaptiveLeaderAttackModel*>(&exp.network().delay_model());
+  auto& simref = exp.sim();
+  auto& e = exp;
+  attack->set_targets_fn([&simref, &e]() {
+    std::set<ReplicaId> targets;
+    const SimTime now = simref.now();
+    if (now < kPhase2 || now >= kPhase3) return targets;  // good network
+    for (ReplicaId id = 0; id < e.n(); ++id) {
+      targets.insert(core::round_leader(e.replica(id).current_round(), e.n(),
+                                        e.config().pcfg.leader_rotation));
+    }
+    return targets;
+  });
+
+  exp.start();
+  // Count system-wide progress: the fastest honest ledger. (The attacked
+  // leader's own ledger lags by the attack delay even though the system
+  // commits — it catches up when the adversary moves on.)
+  std::vector<std::size_t> series;
+  std::size_t prev = 0;
+  for (SimTime t = kBucket; t <= kEnd; t += kBucket) {
+    exp.sim().run_until(t);
+    const std::size_t now_commits = exp.max_honest_commits();
+    series.push_back(now_commits - prev);
+    prev = now_commits;
+  }
+  if (fallbacks != nullptr) {
+    *fallbacks = 0;
+    for (ReplicaId id = 0; id < 4; ++id) {
+      *fallbacks += exp.replica(id).stats().fallbacks_entered;
+    }
+  }
+  return series;
+}
+
+void print_series(const char* label, const std::vector<std::size_t>& s) {
+  std::printf("  %-14s", label);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    std::printf("%4zu", s[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("LIVE: commit throughput timeline (blocks per 2s bucket, n=4)\n");
+  std::printf("  [0,20s) synchrony | [20s,60s) leader-attack | [60s,90s) synchrony\n");
+  std::printf("==============================================================\n\n");
+
+  std::printf("  %-14s", "t(s) ->");
+  for (SimTime t = kBucket; t <= kEnd; t += kBucket) {
+    std::printf("%4llu", static_cast<unsigned long long>(t / kSec));
+  }
+  std::printf("\n");
+
+  std::uint64_t diem_fb = 0, ours_fb = 0;
+  const auto diem = commit_series(Protocol::kDiemBft, 77, &diem_fb);
+  const auto ours = commit_series(Protocol::kFallback3, 77, &ours_fb);
+  print_series("DiemBFT", diem);
+  print_series("Ours (Fig 2)", ours);
+
+  std::size_t diem_bad = 0, ours_bad = 0;
+  for (std::size_t i = kPhase2 / kBucket; i < kPhase3 / kBucket; ++i) {
+    diem_bad += diem[i];
+    ours_bad += ours[i];
+  }
+  std::printf("\n  commits during the bad-network window: DiemBFT=%zu, ours=%zu\n",
+              diem_bad, ours_bad);
+  std::printf("  fallbacks entered (ours): %llu\n",
+              static_cast<unsigned long long>(ours_fb));
+  std::printf("\nReading: DiemBFT's series must drop to ~0 inside the window and\n");
+  std::printf("recover after; ours keeps committing through the window via the\n");
+  std::printf("asynchronous fallback, then returns to the fast path.\n");
+  return 0;
+}

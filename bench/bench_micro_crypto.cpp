@@ -1,0 +1,130 @@
+// Experiment µ — microbenchmarks (google-benchmark) for the cryptographic
+// substrate and serialization: these set the constant factors behind
+// every protocol message the macro benches count.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/dealer.h"
+#include "smr/block.h"
+#include "smr/messages.h"
+
+using namespace repro;
+
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  const std::size_t size = state.range(0);
+  Bytes data(size, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * size));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_FieldMul(benchmark::State& state) {
+  Rng rng(1);
+  crypto::Fp a(rng.next()), b(rng.next());
+  for (auto _ : state) {
+    a = a * b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMul);
+
+void BM_FieldInverse(benchmark::State& state) {
+  crypto::Fp a(123456789);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.inverse());
+  }
+}
+BENCHMARK(BM_FieldInverse);
+
+void BM_ThresholdSignShare(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto sys = crypto::CryptoSystem::deal(QuorumParams::for_n(n), 7);
+  const Bytes msg = {1, 2, 3, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys->quorum_sigs.sign_share(0, msg));
+  }
+}
+BENCHMARK(BM_ThresholdSignShare)->Arg(4)->Arg(31);
+
+void BM_ThresholdCombine(benchmark::State& state) {
+  // Real Lagrange interpolation over 2f+1 shares — the QC formation cost.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto sys = crypto::CryptoSystem::deal(QuorumParams::for_n(n), 7);
+  const Bytes msg = {1, 2, 3, 4};
+  std::vector<crypto::PartialSig> shares;
+  for (ReplicaId i = 0; i < sys->params.quorum(); ++i) {
+    shares.push_back(sys->quorum_sigs.sign_share(i, msg));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys->quorum_sigs.combine(shares, msg));
+  }
+}
+BENCHMARK(BM_ThresholdCombine)->Arg(4)->Arg(10)->Arg(31)->Arg(100);
+
+void BM_ThresholdVerify(benchmark::State& state) {
+  auto sys = crypto::CryptoSystem::deal(QuorumParams::for_n(4), 7);
+  const Bytes msg = {1, 2, 3, 4};
+  std::vector<crypto::PartialSig> shares;
+  for (ReplicaId i = 0; i < 3; ++i) shares.push_back(sys->quorum_sigs.sign_share(i, msg));
+  const auto sig = *sys->quorum_sigs.combine(shares, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys->quorum_sigs.verify(sig, msg));
+  }
+}
+BENCHMARK(BM_ThresholdVerify);
+
+void BM_CoinElection(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto sys = crypto::CryptoSystem::deal(QuorumParams::for_n(n), 7);
+  std::vector<crypto::PartialSig> shares;
+  for (ReplicaId i = 0; i < sys->params.coin_quorum(); ++i) {
+    shares.push_back(sys->coin.coin_share(i, 5));
+  }
+  for (auto _ : state) {
+    auto qc = sys->coin.combine(shares, 5);
+    benchmark::DoNotOptimize(sys->coin.leader_from(*qc));
+  }
+}
+BENCHMARK(BM_CoinElection)->Arg(4)->Arg(31);
+
+void BM_SignatureSign(benchmark::State& state) {
+  auto sys = crypto::CryptoSystem::deal(QuorumParams::for_n(4), 7);
+  const Bytes msg(256, 0x11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys->signatures.sign(1, msg));
+  }
+}
+BENCHMARK(BM_SignatureSign);
+
+void BM_BlockIdCompute(benchmark::State& state) {
+  const std::size_t payload = state.range(0);
+  const Bytes txn(payload, 0x22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        smr::Block::compute_id(smr::genesis_certificate(), 1, 0, 0, 0, txn));
+  }
+}
+BENCHMARK(BM_BlockIdCompute)->Arg(0)->Arg(1024);
+
+void BM_ProposalEncodeDecode(benchmark::State& state) {
+  auto sys = crypto::CryptoSystem::deal(QuorumParams::for_n(4), 7);
+  smr::Message msg = smr::ProposalMsg{
+      smr::Block::make(smr::genesis_certificate(), 1, 0, 0, 0, Bytes(256, 0x33)),
+      std::nullopt,
+      {},
+      {}};
+  smr::sign_message(*sys, 0, msg);
+  for (auto _ : state) {
+    const Bytes wire = smr::encode_message(msg);
+    benchmark::DoNotOptimize(smr::decode_message(wire));
+  }
+}
+BENCHMARK(BM_ProposalEncodeDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

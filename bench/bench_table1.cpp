@@ -1,0 +1,131 @@
+// Experiment T1 — reproduces Table 1 of the paper plus the Theorem 9
+// efficiency claims, empirically.
+//
+// Paper's Table 1 (qualitative):
+//   HotStuff/DiemBFT : sync O(n) per decision, NOT live under asynchrony
+//   VABA/Dumbo/ACE   : O(n^2) per decision, always live
+//   Ours             : sync O(n), async O(n^2), always live
+//
+// We measure messages and protocol bytes per committed block ("decision")
+// for each protocol under (a) synchrony with honest leaders and (b) the
+// adaptive leader-attack asynchronous adversary, sweeping n, and fit the
+// log-log growth exponent (Theorem 9: slope ~1 on the sync path, ~2 on
+// the async path).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiment.h"
+
+using namespace repro;
+using namespace repro::harness;
+
+namespace {
+
+struct Row {
+  std::uint32_t n;
+  bool live;
+  double msgs_per_decision;
+  double bytes_per_decision;
+  std::size_t decisions;
+};
+
+Row run_cell(Protocol p, NetScenario s, std::uint32_t n, std::size_t target,
+             SimTime horizon, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.n = n;
+  cfg.protocol = p;
+  cfg.scenario = s;
+  cfg.seed = seed;
+  Experiment exp(cfg);
+  exp.start();
+  exp.run_until_commits(target, horizon);
+  const std::size_t decisions = exp.min_honest_commits();
+  Row row;
+  row.n = n;
+  row.decisions = decisions;
+  row.live = decisions > 0;
+  const auto& st = exp.network().stats();
+  row.msgs_per_decision = decisions ? double(st.messages) / decisions : 0;
+  row.bytes_per_decision = decisions ? double(st.bytes) / decisions : 0;
+  return row;
+}
+
+/// Least-squares slope of log(y) vs log(n) — the growth exponent.
+double loglog_slope(const std::vector<Row>& rows) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int k = 0;
+  for (const auto& r : rows) {
+    if (r.msgs_per_decision <= 0) continue;
+    const double x = std::log(double(r.n));
+    const double y = std::log(r.msgs_per_decision);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++k;
+  }
+  if (k < 2) return 0;
+  return (k * sxy - sx * sy) / (k * sxx - sx * sx);
+}
+
+void print_sweep(const char* title, const std::vector<Row>& rows) {
+  std::printf("  %s\n", title);
+  std::printf("    %-6s %-6s %16s %16s %10s\n", "n", "live", "msgs/decision",
+              "bytes/decision", "decisions");
+  for (const auto& r : rows) {
+    std::printf("    %-6u %-6s %16.1f %16.1f %10zu\n", r.n, r.live ? "yes" : "NO",
+                r.msgs_per_decision, r.bytes_per_decision, r.decisions);
+  }
+  const double slope = loglog_slope(rows);
+  if (slope != 0) std::printf("    log-log growth exponent of msgs/decision: %.2f\n", slope);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::uint32_t> ns = {4, 7, 10, 13, 16, 22, 31};
+  std::printf("==============================================================\n");
+  std::printf("T1: Table 1 reproduction — cost per decision & liveness\n");
+  std::printf("==============================================================\n\n");
+
+  struct Cell {
+    Protocol p;
+    const char* label;
+  };
+  const std::vector<Cell> protocols = {
+      {Protocol::kDiemBft, "DiemBFT (Fig 1 baseline)"},
+      {Protocol::kAlwaysFallback, "Always-fallback (ACE/VABA-style async SMR)"},
+      {Protocol::kFallback3, "Ours: DiemBFT + async fallback (Fig 2)"},
+  };
+
+  std::printf("--- (a) synchrony, honest leaders: expect O(n) for DiemBFT and ours,\n");
+  std::printf("    O(n^2) for the always-async baseline -------------------------\n\n");
+  for (const auto& cell : protocols) {
+    std::vector<Row> rows;
+    for (std::uint32_t n : ns) {
+      rows.push_back(run_cell(cell.p, NetScenario::kSynchronous, n, 60,
+                              4'000'000'000ull, 1000 + n));
+    }
+    print_sweep(cell.label, rows);
+    std::printf("\n");
+  }
+
+  std::printf("--- (b) asynchrony (adaptive leader-attack adversary): expect DiemBFT\n");
+  std::printf("    NOT live; always-fallback and ours live at O(n^2) -------------\n\n");
+  for (const auto& cell : protocols) {
+    std::vector<Row> rows;
+    for (std::uint32_t n : ns) {
+      // DiemBFT will never reach the target; bound its run by time.
+      const SimTime horizon =
+          (cell.p == Protocol::kDiemBft) ? 300'000'000ull : 40'000'000'000ull;
+      rows.push_back(run_cell(cell.p, NetScenario::kLeaderAttack, n, 20, horizon, 2000 + n));
+    }
+    print_sweep(cell.label, rows);
+    std::printf("\n");
+  }
+
+  std::printf("Reading: 'live' must be NO only for DiemBFT under (b). Sync-path\n");
+  std::printf("exponents ~1 and async-path exponents ~2 reproduce Theorem 9.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// The paper's motivating scenario as a narrated demo: "Be prepared when
+// network goes bad." The network turns adversarially asynchronous for a
+// while, then recovers. DiemBFT stops committing during the outage; the
+// asynchronous view-change protocol falls back and keeps the chain
+// growing, then returns to the linear fast path.
+//
+//   $ ./build/examples/network_outage
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace repro;
+using namespace repro::harness;
+
+namespace {
+
+constexpr SimTime kSec = 1'000'000;
+constexpr SimTime kOutageStart = 10 * kSec;
+constexpr SimTime kOutageEnd = 30 * kSec;
+constexpr SimTime kRunEnd = 40 * kSec;
+
+void narrate(Protocol p, const char* name) {
+  ExperimentConfig cfg;
+  cfg.n = 4;
+  cfg.protocol = p;
+  cfg.seed = 7;
+  cfg.scenario = NetScenario::kLeaderAttack;
+  cfg.attack_delay = 5'000'000;
+  Experiment exp(cfg);
+
+  // The adversary only operates inside the outage window.
+  auto* attack =
+      dynamic_cast<net::AdaptiveLeaderAttackModel*>(&exp.network().delay_model());
+  auto& simref = exp.sim();
+  auto& e = exp;
+  attack->set_targets_fn([&simref, &e]() {
+    std::set<ReplicaId> targets;
+    if (simref.now() < kOutageStart || simref.now() >= kOutageEnd) return targets;
+    for (ReplicaId id = 0; id < e.n(); ++id) {
+      targets.insert(core::round_leader(e.replica(id).current_round(), e.n(),
+                                        e.config().pcfg.leader_rotation));
+    }
+    return targets;
+  });
+  exp.start();
+
+  std::printf("=== %s ===\n", name);
+  std::size_t prev = 0;
+  for (SimTime t = 5 * kSec; t <= kRunEnd; t += 5 * kSec) {
+    exp.sim().run_until(t);
+    const std::size_t commits = exp.max_honest_commits();
+    const char* phase = (t <= kOutageStart)  ? "good network "
+                        : (t <= kOutageEnd) ? "NETWORK BAD  "
+                                            : "recovered    ";
+    std::uint64_t fallbacks = 0;
+    for (ReplicaId id = 0; id < 4; ++id) {
+      fallbacks += exp.replica(id).stats().fallbacks_entered;
+    }
+    std::printf("  t=%2llus  %s  committed=%4zu (+%3zu in window)  view=%llu  fallbacks=%llu\n",
+                static_cast<unsigned long long>(t / kSec), phase, commits, commits - prev,
+                static_cast<unsigned long long>(exp.replica(1).current_view()),
+                static_cast<unsigned long long>(fallbacks));
+    prev = commits;
+  }
+  const SafetyReport safety = exp.check_safety();
+  std::printf("  safety: %s\n\n", safety.ok ? "OK" : safety.detail.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Scenario: leader-targeting asynchronous adversary active during\n");
+  std::printf("t in [10s, 30s); synchronous otherwise. n = 4, f = 1.\n\n");
+  narrate(Protocol::kDiemBft, "DiemBFT (baseline — loses liveness during the outage)");
+  narrate(Protocol::kFallback3,
+          "DiemBFT + Asynchronous Fallback (stays live via view-changes)");
+  std::printf("Note the fallback counter: every view-change during the outage is an\n");
+  std::printf("asynchronous fallback that elects a leader retroactively by coin.\n");
+  return 0;
+}

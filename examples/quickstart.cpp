@@ -1,0 +1,55 @@
+// Quickstart: stand up a 4-replica BFT SMR system running DiemBFT with
+// the Asynchronous Fallback (the paper's protocol), commit some blocks,
+// and inspect the ledger.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace repro;
+using namespace repro::harness;
+
+int main() {
+  // 1. Configure a system of n = 3f+1 = 4 replicas (f = 1) on a
+  //    synchronous simulated network, running the Figure-2 protocol.
+  ExperimentConfig cfg;
+  cfg.n = 4;
+  cfg.protocol = Protocol::kFallback3;
+  cfg.scenario = NetScenario::kSynchronous;
+  cfg.seed = 2021;
+  cfg.pcfg.batch_bytes = 128;  // 128-byte transaction batch per block
+
+  // 2. Build and start: the harness deals keys (trusted dealer), wires
+  //    the replicas to the network, and enters round 1.
+  Experiment exp(cfg);
+  exp.start();
+
+  // 3. Run the virtual clock until every replica has committed 10 blocks.
+  const bool ok = exp.run_until_commits(10, /*max_time=*/60'000'000);
+  std::printf("reached 10 commits on every replica: %s\n", ok ? "yes" : "no");
+  std::printf("virtual time elapsed: %.2f s\n", exp.sim().now() / 1e6);
+
+  // 4. Inspect replica 0's committed ledger.
+  std::printf("\nreplica 0 ledger:\n");
+  for (const auto& rec : exp.replica(0).ledger().records()) {
+    std::printf("  round %2llu  view %llu  payload %3zu bytes  committed at %.3f s\n",
+                static_cast<unsigned long long>(rec.round),
+                static_cast<unsigned long long>(rec.view), rec.payload_bytes,
+                rec.commit_time / 1e6);
+  }
+
+  // 5. Check the SMR safety guarantee across all replicas.
+  const SafetyReport safety = exp.check_safety();
+  std::printf("\nsafety (all honest ledgers prefix-consistent): %s\n",
+              safety.ok ? "OK" : safety.detail.c_str());
+
+  // 6. Communication cost so far (the fallback protocol's sync path is
+  //    linear: ~2 messages per replica per block).
+  const auto& st = exp.network().stats();
+  std::printf("network: %llu messages, %llu bytes, %.1f msgs/committed block\n",
+              static_cast<unsigned long long>(st.messages),
+              static_cast<unsigned long long>(st.bytes),
+              double(st.messages) / exp.min_honest_commits());
+  return safety.ok ? 0 : 1;
+}

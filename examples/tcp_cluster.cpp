@@ -1,0 +1,69 @@
+// Run a real BFT cluster: n replicas, each on its own thread with its own
+// TCP sockets on localhost, committing blocks on the wall clock — the
+// same protocol code the simulator runs, on a real transport.
+//
+//   $ ./build/examples/tcp_cluster [n] [seconds]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "core/fallback.h"
+#include "transport/node.h"
+
+using namespace repro;
+using namespace repro::transport;
+
+int main(int argc, char** argv) {
+  const std::uint32_t n = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int seconds = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  // Trusted-dealer key generation, shared by all nodes of the cluster.
+  auto crypto = crypto::CryptoSystem::deal(QuorumParams::for_n(n), 7);
+
+  std::vector<PeerAddress> peers;
+  const std::uint16_t port0 = 23000 + (::getpid() % 10000);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    peers.push_back(PeerAddress{"127.0.0.1", static_cast<std::uint16_t>(port0 + i)});
+  }
+  std::printf("starting %u replicas on 127.0.0.1:%u..%u (f = %u tolerated)\n", n, port0,
+              port0 + n - 1, QuorumParams::for_n(n).f);
+
+  std::vector<std::unique_ptr<TcpNode>> nodes;
+  for (ReplicaId i = 0; i < n; ++i) {
+    NodeConfig cfg;
+    cfg.id = i;
+    cfg.peers = peers;
+    cfg.crypto = crypto;
+    cfg.seed = 42 + i;
+    cfg.pcfg.base_timeout_us = 300'000;  // 300 ms round timer
+    cfg.pcfg.batch_bytes = 512;
+    nodes.push_back(std::make_unique<TcpNode>(cfg, [](const core::ReplicaContext& ctx) {
+      return std::make_unique<core::FallbackReplica>(ctx, core::FallbackParams{});
+    }));
+  }
+  for (auto& node : nodes) node->start();
+
+  for (int s = 1; s <= seconds; ++s) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    std::printf("t=%ds committed:", s);
+    for (auto& node : nodes) std::printf(" %llu", (unsigned long long)node->committed());
+    std::printf("\n");
+  }
+
+  for (auto& node : nodes) node->stop();
+
+  // Offline check: all ledgers prefix-consistent.
+  bool consistent = true;
+  const auto& ref = nodes[0]->replica().ledger().records();
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const auto& other = nodes[i]->replica().ledger().records();
+    for (std::size_t k = 0; k < std::min(ref.size(), other.size()); ++k) {
+      if (ref[k].id != other[k].id) consistent = false;
+    }
+  }
+  std::printf("ledger prefix consistency: %s\n", consistent ? "OK" : "VIOLATED");
+  std::printf("throughput: %.1f blocks/s per replica\n",
+              double(nodes[0]->replica().ledger().size()) / seconds);
+  return consistent ? 0 : 1;
+}

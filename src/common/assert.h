@@ -1,0 +1,30 @@
+// Invariant assertions that stay on in release builds.
+//
+// Protocol code is full of invariants whose violation means a logic bug
+// (e.g. "a QC always has exactly 2f+1 distinct signers"). We never want
+// those compiled out, so we do not use <cassert>.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace repro {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "REPRO_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace repro
+
+#define REPRO_ASSERT(expr)                                          \
+  do {                                                              \
+    if (!(expr)) ::repro::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define REPRO_ASSERT_MSG(expr, msg)                              \
+  do {                                                           \
+    if (!(expr)) ::repro::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,30 @@
+// Byte-buffer helpers: the wire format of every protocol message is a
+// repro::Bytes value, so byte counting in the network layer is exact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Lower-case hex encoding ("deadbeef").
+std::string to_hex(BytesView data);
+
+/// Inverse of to_hex. Returns empty vector on malformed input of odd
+/// length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Constant-size digests and similar fixed arrays compare/format often;
+/// helper to view any trivially-copyable object as bytes.
+template <typename T>
+BytesView as_bytes_view(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return BytesView(reinterpret_cast<const std::uint8_t*>(&value), sizeof(T));
+}
+
+}  // namespace repro

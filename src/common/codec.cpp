@@ -1,0 +1,3 @@
+#include "common/codec.h"
+
+// Header-only for speed; this TU anchors the library target.

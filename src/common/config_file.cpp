@@ -1,0 +1,120 @@
+#include "common/config_file.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace repro {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<ConfigFile> ConfigFile::parse(std::string_view text, std::string* error) {
+  ConfigFile cfg;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    line = trim(line);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": expected 'key = value'";
+      }
+      return std::nullopt;
+    }
+    const std::string key(trim(line.substr(0, eq)));
+    const std::string value(trim(line.substr(eq + 1)));
+    if (key.empty()) {
+      if (error != nullptr) *error = "line " + std::to_string(line_no) + ": empty key";
+      return std::nullopt;
+    }
+    cfg.entries_.emplace_back(key, value);
+  }
+  return cfg;
+}
+
+std::optional<ConfigFile> ConfigFile::load(const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parse(text, error);
+}
+
+std::optional<std::string> ConfigFile::get(const std::string& key) const {
+  std::optional<std::string> out;
+  for (const auto& [k, v] : entries_) {
+    if (k == key) out = v;
+  }
+  return out;
+}
+
+std::vector<std::string> ConfigFile::get_all(const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : entries_) {
+    if (k == key) out.push_back(v);
+  }
+  return out;
+}
+
+std::int64_t ConfigFile::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  return (end != nullptr && *end == '\0' && !v->empty()) ? parsed : fallback;
+}
+
+bool ConfigFile::get_bool(const std::string& key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  return fallback;
+}
+
+std::string ConfigFile::get_str(const std::string& key, const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+std::optional<HostPort> parse_host_port(std::string_view s) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 || colon + 1 >= s.size()) {
+    return std::nullopt;
+  }
+  HostPort hp;
+  hp.host = std::string(s.substr(0, colon));
+  long port = 0;
+  for (char c : s.substr(colon + 1)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + (c - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  if (port == 0) return std::nullopt;
+  hp.port = static_cast<std::uint16_t>(port);
+  return hp;
+}
+
+}  // namespace repro

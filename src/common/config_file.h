@@ -1,0 +1,57 @@
+// Minimal INI-style configuration files for the node daemon.
+//
+//   # cluster.conf
+//   id = 0
+//   timeout_ms = 300
+//   batch_bytes = 512
+//   wal = /var/lib/bft/node0.wal
+//   peer = 127.0.0.1:9000
+//   peer = 127.0.0.1:9001
+//   peer = 127.0.0.1:9002
+//   peer = 127.0.0.1:9003
+//
+// `key = value` lines, `#`/`;` comments, repeated keys accumulate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+class ConfigFile {
+ public:
+  /// Parse from text. Returns nullopt on malformed lines (reported via
+  /// `error` when provided).
+  static std::optional<ConfigFile> parse(std::string_view text, std::string* error = nullptr);
+
+  /// Parse a file from disk; nullopt if unreadable or malformed.
+  static std::optional<ConfigFile> load(const std::string& path, std::string* error = nullptr);
+
+  /// Last value for a key, or nullopt.
+  std::optional<std::string> get(const std::string& key) const;
+
+  /// All values for a repeated key, in file order.
+  std::vector<std::string> get_all(const std::string& key) const;
+
+  /// Typed accessors with defaults.
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  std::string get_str(const std::string& key, const std::string& fallback) const;
+
+  bool has(const std::string& key) const { return !get_all(key).empty(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Parse "host:port". Returns nullopt on malformed input.
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+std::optional<HostPort> parse_host_port(std::string_view s);
+
+}  // namespace repro

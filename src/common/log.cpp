@@ -1,0 +1,37 @@
+#include "common/log.h"
+
+#include <cstdarg>
+
+namespace repro {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+bool log_enabled(LogLevel level) { return static_cast<int>(level) >= static_cast<int>(g_level); }
+
+void log_write(LogLevel level, const char* fmt, ...) {
+  std::fprintf(stderr, "[%s] ", level_tag(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace repro

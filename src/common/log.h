@@ -1,0 +1,39 @@
+// Tiny leveled logger.
+//
+// Protocol traces are invaluable when debugging consensus; benchmarks run
+// with logging off. The logger is process-global but stateless apart from
+// the level, which experiments set once up front.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace repro {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Set / get the global level. Default is kWarn so tests stay quiet.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+bool log_enabled(LogLevel level);
+
+/// printf-style sink; prefixed with the level tag.
+void log_write(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+}  // namespace repro
+
+#define REPRO_LOG(level, ...)                                      \
+  do {                                                             \
+    if (::repro::log_enabled(level)) ::repro::log_write(level, __VA_ARGS__); \
+  } while (0)
+
+#define LOG_TRACE(...) REPRO_LOG(::repro::LogLevel::kTrace, __VA_ARGS__)
+#define LOG_DEBUG(...) REPRO_LOG(::repro::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) REPRO_LOG(::repro::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) REPRO_LOG(::repro::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) REPRO_LOG(::repro::LogLevel::kError, __VA_ARGS__)

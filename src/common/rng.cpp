@@ -1,0 +1,15 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace repro {
+
+double Rng::exponential(double mean) {
+  REPRO_ASSERT(mean > 0);
+  // Inverse CDF; clamp away from 0 so log() is finite.
+  double u = uniform01();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+}  // namespace repro

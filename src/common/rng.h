@@ -1,0 +1,99 @@
+// Deterministic pseudo-randomness.
+//
+// Every experiment is reproducible from (config, seed). All randomness —
+// workload generation, network delays, the adversary's choices — flows
+// from one of these generators; nothing uses std::random_device or global
+// state.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.h"
+
+namespace repro {
+
+/// SplitMix64: used to seed and to derive independent substreams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the main generator (Blackman/Vigna), fast and high quality.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  /// Derive an independent substream (e.g. one per replica) so adding a
+  /// consumer never perturbs the draws seen by others.
+  Rng fork(std::uint64_t stream_id) {
+    return Rng(next() ^ (0x517cc1b727220a95ull * (stream_id + 1)));
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t uniform(std::uint64_t bound) {
+    REPRO_ASSERT(bound > 0);
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) {
+    REPRO_ASSERT(lo <= hi);
+    return lo + uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed with the given mean (for heavy network
+  /// delay tails). Mean must be > 0.
+  double exponential(double mean);
+
+  // UniformRandomBitGenerator interface (for std::shuffle etc.).
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ull; }
+  std::uint64_t operator()() { return next(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace repro

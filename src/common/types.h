@@ -1,0 +1,45 @@
+// Fundamental protocol scalar types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace repro {
+
+/// Index of a replica in [0, n). The paper numbers replicas 1..n; we use
+/// 0-based indices everywhere and only format as 1-based in logs.
+using ReplicaId = std::uint32_t;
+
+/// Round number r = 1, 2, 3, ... (0 is reserved for the genesis block).
+using Round = std::uint64_t;
+
+/// View number v = 0, 1, 2, ... incremented after each asynchronous fallback.
+using View = std::uint64_t;
+
+/// Height of a fallback-block within a fallback-chain: 1, 2 or 3.
+using FallbackHeight = std::uint32_t;
+
+/// Simulated time in microseconds.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kSimTimeNever = std::numeric_limits<SimTime>::max();
+
+/// Quorum sizes for n = 3f + 1.
+struct QuorumParams {
+  std::uint32_t n = 0;  ///< total replicas
+  std::uint32_t f = 0;  ///< max Byzantine replicas tolerated
+
+  /// Largest f with 3f + 1 <= n.
+  static constexpr QuorumParams for_n(std::uint32_t n) {
+    return QuorumParams{n, (n - 1) / 3};
+  }
+
+  /// Size of a (Byzantine) quorum: n - f. For n = 3f+1 this is 2f+1.
+  constexpr std::uint32_t quorum() const { return n - f; }
+  /// Size of a coin quorum: f + 1 (one honest replica guaranteed).
+  constexpr std::uint32_t coin_quorum() const { return f + 1; }
+
+  constexpr bool operator==(const QuorumParams&) const = default;
+};
+
+}  // namespace repro

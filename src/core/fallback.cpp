@@ -1,0 +1,594 @@
+#include "core/fallback.h"
+
+#include "common/log.h"
+
+namespace repro::core {
+
+FallbackReplica::FallbackReplica(const ReplicaContext& ctx, FallbackParams fb)
+    : ReplicaBase(ctx), fb_(fb) {
+  REPRO_ASSERT(fb_.chain_len == 2 || fb_.chain_len == 3);
+  r_vote_bar_.assign(params().n, 0);
+  h_vote_bar_.assign(params().n, 0);
+  recover_from_wal();  // restores vote state if a WAL with history is attached
+}
+
+void FallbackReplica::start() {
+  if (fault().crashed()) return;
+  if (fault().spams_timeouts()) spam_timeouts();
+  if (fb_.always_fallback) {
+    // ACE/VABA-style baseline: no synchronous path at all — every view is
+    // a fallback, entered directly without timeouts. A recovered replica
+    // that already entered the current view's fallback must not re-enter
+    // (it could double-propose f-blocks); it waits for the view's coin.
+    if (!fallback_entered_view_ || *fallback_entered_view_ < v_cur_) {
+      enter_fallback(v_cur_, std::nullopt);
+    }
+    return;
+  }
+  arm_timer();
+  maybe_propose_steady();
+}
+
+void FallbackReplica::encode_extra_state(Encoder& enc) const {
+  enc.u64(last_proposed_round_);
+  enc.bool_(fallback_entered_view_.has_value());
+  enc.u64(fallback_entered_view_.value_or(0));
+  enc.bool_(sent_coin_share_view_.has_value());
+  enc.u64(sent_coin_share_view_.value_or(0));
+  enc.u32(static_cast<std::uint32_t>(r_vote_bar_.size()));
+  for (std::size_t j = 0; j < r_vote_bar_.size(); ++j) {
+    enc.u64(r_vote_bar_[j]);
+    enc.u32(h_vote_bar_[j]);
+  }
+}
+
+bool FallbackReplica::restore_extra_state(Decoder& dec) {
+  auto last_proposed = dec.u64();
+  auto has_entered = dec.bool_();
+  auto entered = dec.u64();
+  auto has_coin_share = dec.bool_();
+  auto coin_share = dec.u64();
+  auto count = dec.u32();
+  if (!last_proposed || !has_entered || !entered || !has_coin_share || !coin_share ||
+      !count || *count != params().n) {
+    return false;
+  }
+  std::vector<Round> r_bar(*count);
+  std::vector<FallbackHeight> h_bar(*count);
+  for (std::uint32_t j = 0; j < *count; ++j) {
+    auto r = dec.u64();
+    auto h = dec.u32();
+    if (!r || !h) return false;
+    r_bar[j] = *r;
+    h_bar[j] = *h;
+  }
+  last_proposed_round_ = *last_proposed;
+  if (*has_entered) fallback_entered_view_ = *entered;
+  if (*has_coin_share) sent_coin_share_view_ = *coin_share;
+  r_vote_bar_ = std::move(r_bar);
+  h_vote_bar_ = std::move(h_bar);
+  return true;
+}
+
+void FallbackReplica::handle_message(ReplicaId from, smr::Message&& msg) {
+  if (auto* p = std::get_if<smr::ProposalMsg>(&msg)) {
+    if (!fb_.always_fallback) handle_proposal(from, std::move(*p));
+  } else if (auto* v = std::get_if<smr::VoteMsg>(&msg)) {
+    if (!fb_.always_fallback) handle_vote(*v);
+  } else if (auto* t = std::get_if<smr::FbTimeoutMsg>(&msg)) {
+    if (!fb_.always_fallback) handle_fb_timeout(from, *t);
+  } else if (auto* fp = std::get_if<smr::FbProposalMsg>(&msg)) {
+    handle_fb_proposal(from, std::move(*fp));
+  } else if (auto* fv = std::get_if<smr::FbVoteMsg>(&msg)) {
+    handle_fb_vote(*fv);
+  } else if (auto* fq = std::get_if<smr::FbQcMsg>(&msg)) {
+    handle_fb_qc(from, *fq);
+  } else if (auto* cs = std::get_if<smr::CoinShareMsg>(&msg)) {
+    handle_coin_share(*cs);
+  } else if (auto* cq = std::get_if<smr::CoinQcMsg>(&msg)) {
+    if (verify_coin_qc(crypto_sys(), cq->qc)) process_coin(cq->qc);
+  }
+  // DiemBFT pacemaker messages (kDiemTimeout / kDiemTc) are not part of
+  // this protocol and are ignored.
+}
+
+// ---------------------------------------------------------------------------
+// Steady state
+// ---------------------------------------------------------------------------
+
+void FallbackReplica::lock_full(const smr::Certificate& cert, ReplicaId hint) {
+  // Only regular QCs and *endorsed* f-QCs are "handled as a QC in any
+  // steps of the protocol such as Lock, Commit, Advance Round" (§3).
+  if (!counts_for_commit(cert)) return;
+  // Lock state updates run before Advance Round: entering a new round can
+  // make us propose, and the proposal must extend the updated qc_high.
+  if (fb_.chain_len == 3) {
+    lock_parent_rank(cert, hint);  // 2-chain lock (Fig 2)
+  } else {
+    lock_direct_rank(cert);  // 1-chain lock (Fig 4)
+  }
+  update_qc_high(cert);
+  advance_round_from(cert);
+  note_certificate(cert, hint);  // Commit scan
+}
+
+void FallbackReplica::advance_round_from(const smr::Certificate& cert) {
+  const Round target = cert.round + 1;
+  if (target <= r_cur_) return;
+  r_cur_ = target;
+  timed_out_cur_round_ = false;
+  consecutive_timeouts_ = 0;  // a QC means progress
+  if (r_cur_ % 64 == 0) prune_stale_pools();
+  if (!fb_.always_fallback) arm_timer();
+  maybe_propose_steady();
+}
+
+void FallbackReplica::prune_stale_pools() {
+  // Shares for long-past rounds/views can never reach a quorum we still
+  // care about; dropping them bounds memory on long runs.
+  const Round round_floor = r_cur_ > 64 ? r_cur_ - 64 : 0;
+  votes_.erase_if([round_floor](const std::tuple<smr::BlockId, Round, View>& key) {
+    return std::get<1>(key) < round_floor;
+  });
+  const View view_floor = v_cur_ > 4 ? v_cur_ - 4 : 0;
+  view_timeout_shares_.erase_if([view_floor](View v) { return v < view_floor; });
+  coin_shares_.erase_if([view_floor](View v) { return v < view_floor; });
+  fb_votes_.erase_if([this](const std::tuple<smr::BlockId, FallbackHeight>& key) {
+    // Keep only shares for blocks of our current own chain.
+    for (const auto& [h, id] : own_fblock_) {
+      if (id == std::get<0>(key)) return false;
+    }
+    return true;
+  });
+}
+
+void FallbackReplica::maybe_propose_steady() {
+  if (fb_.always_fallback || fallback_mode_) return;
+  if (leader_of(r_cur_) != id()) return;
+  if (last_proposed_round_ >= r_cur_) return;
+  if (fault().mute()) return;
+  // Fig 2 vote rule demands r == qc.r + 1, so only propose when our
+  // qc_high is exactly one round behind.
+  if (qc_high().round + 1 != r_cur_) return;
+  last_proposed_round_ = r_cur_;
+  persist_vote_state();  // durable before the proposal leaves
+
+  if (fault().equivocates()) {
+    smr::Block a = smr::Block::make(qc_high(), r_cur_, v_cur_, 0, id(), next_payload());
+    smr::Block b = smr::Block::make(qc_high(), r_cur_, v_cur_, 0, id(), next_payload());
+    store_block(a, id());
+    note_block_born(a.id);
+    note_block_born(b.id);
+    for (ReplicaId to = 0; to < params().n; ++to) {
+      smr::ProposalMsg msg;
+      msg.block = (to % 2 == 0) ? a : b;
+      msg.coins = evidence_for(qc_high());
+      send(to, std::move(msg));
+    }
+    ++stats_.proposals_sent;
+    return;
+  }
+
+  smr::Block block = smr::Block::make(qc_high(), r_cur_, v_cur_, /*height=*/0, id(),
+                                      next_payload());
+  store_block(block, id());
+  note_block_born(block.id);
+  smr::ProposalMsg msg;
+  msg.block = std::move(block);
+  msg.coins = evidence_for(qc_high());
+  ++stats_.proposals_sent;
+  multicast(std::move(msg));
+}
+
+void FallbackReplica::spam_timeouts() {
+  if (halted()) return;
+  smr::FbTimeoutMsg msg;
+  msg.view = v_cur_;
+  msg.view_share =
+      crypto_sys().quorum_sigs.sign_share(id(), smr::ftc_signing_message(v_cur_));
+  msg.qc_high = qc_high();
+  msg.coins = evidence_for(qc_high());
+  multicast(std::move(msg));
+  sim().schedule_after(config().base_timeout_us / 2, [this] { spam_timeouts(); });
+}
+
+void FallbackReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
+  smr::Block& block = msg.block;
+  if (!block.id_consistent() || block.height != 0) return;
+  if (block.proposer != from || leader_of(block.round) != from) return;
+  if (!verify_certificate(crypto_sys(), block.parent)) return;
+  install_attached_coins(msg.coins);
+
+  const smr::Certificate parent = block.parent;
+  const Round r = block.round;
+  const View v = block.view;
+  const smr::BlockId block_id = block.id;
+  store_block(std::move(block), from);
+
+  lock_full(parent, from);
+
+  // Fig 2 vote rule: not in fallback, r == r_cur, v == v_cur, r > r_vote,
+  // qc.rank >= rank_lock, and r == qc.r + 1 (plus: we have not timed out
+  // in this round).
+  if (fallback_mode_ || timed_out_cur_round_) return;
+  if (r != r_cur_ || v != v_cur_ || r <= r_vote_) return;
+  if (rank_of(parent) < rank_lock()) return;
+  if (r != parent.round + 1) return;
+  if (!externally_valid(store().get(block_id)->payload)) return;
+  if (fault().withholds_votes()) return;
+
+  r_vote_ = r;
+  persist_vote_state();  // durable before the vote leaves
+  ++stats_.votes_sent;
+  smr::VoteMsg vote;
+  vote.block_id = block_id;
+  vote.round = r;
+  vote.view = v;
+  vote.share = crypto_sys().quorum_sigs.sign_share(
+      id(), smr::cert_signing_message(smr::CertKind::kQuorum, block_id, r, v, 0, 0));
+  send(leader_of(r + 1), std::move(vote));
+}
+
+void FallbackReplica::handle_vote(const smr::VoteMsg& msg) {
+  const Bytes signing = smr::cert_signing_message(smr::CertKind::kQuorum, msg.block_id,
+                                                  msg.round, msg.view, 0, 0);
+  if (!crypto_sys().quorum_sigs.verify_share(msg.share, signing)) return;
+
+  const auto key = std::make_tuple(msg.block_id, msg.round, msg.view);
+  if (votes_.add(key, msg.share) < params().quorum()) return;
+  auto qc = smr::combine_certificate(crypto_sys(), smr::CertKind::kQuorum, msg.block_id,
+                                     msg.round, msg.view, 0, 0, votes_.shares(key));
+  if (!qc) return;
+  lock_full(*qc, msg.share.signer);
+}
+
+void FallbackReplica::arm_timer() {
+  if (timer_ != sim::kInvalidEvent) sim().cancel(timer_);
+  const std::uint64_t factor =
+      std::min<std::uint64_t>(1 + consecutive_timeouts_, config().max_timeout_factor);
+  const Round round = r_cur_;
+  timer_ = sim().schedule_after(config().base_timeout_us * factor,
+                                [this, round] { on_timer_fired(round); });
+}
+
+void FallbackReplica::on_timer_fired(Round round) {
+  if (halted() || round != r_cur_ || fallback_mode_) return;
+  timer_ = sim::kInvalidEvent;
+  // Fig 2 Timer and Timeout: set fallback-mode and multicast
+  // <{v_cur}_i, qc_high>_i.
+  fallback_mode_ = true;
+  timed_out_cur_round_ = true;
+  ++consecutive_timeouts_;
+  ++stats_.timeouts_sent;
+  smr::FbTimeoutMsg msg;
+  msg.view = v_cur_;
+  msg.view_share =
+      crypto_sys().quorum_sigs.sign_share(id(), smr::ftc_signing_message(v_cur_));
+  msg.qc_high = qc_high();
+  msg.coins = evidence_for(qc_high());
+  multicast(std::move(msg));
+}
+
+// ---------------------------------------------------------------------------
+// Fallback
+// ---------------------------------------------------------------------------
+
+void FallbackReplica::handle_fb_timeout(ReplicaId from, const smr::FbTimeoutMsg& msg) {
+  if (!crypto_sys().quorum_sigs.verify_share(msg.view_share,
+                                             smr::ftc_signing_message(msg.view))) {
+    return;
+  }
+  install_attached_coins(msg.coins);
+  // "Upon receiving a valid timeout message, execute Lock" (on qc_high).
+  if (verify_certificate(crypto_sys(), msg.qc_high)) lock_full(msg.qc_high, from);
+
+  if (msg.view < v_cur_) return;  // stale view; shares cannot help anymore
+  if (any_ftc_formed_ && msg.view <= highest_ftc_formed_) return;
+  if (view_timeout_shares_.add(msg.view, msg.view_share) < params().quorum()) return;
+  auto ftc = smr::combine_ftc(crypto_sys(), msg.view, view_timeout_shares_.shares(msg.view));
+  if (!ftc) return;
+  highest_ftc_formed_ = msg.view;
+  any_ftc_formed_ = true;
+  handle_ftc(*ftc);
+}
+
+void FallbackReplica::handle_ftc(const smr::FallbackTC& ftc) {
+  // Enter Fallback: f-TC of view >= v_cur, unless we already entered a
+  // fallback at that view or higher.
+  if (ftc.view < v_cur_) return;
+  if (fallback_entered_view_ && *fallback_entered_view_ >= ftc.view) return;
+  enter_fallback(ftc.view, ftc);
+}
+
+void FallbackReplica::enter_fallback(View view, const std::optional<smr::FallbackTC>& ftc) {
+  fallback_mode_ = true;
+  v_cur_ = view;
+  fallback_entered_view_ = view;
+  entered_ftc_ = ftc;
+  fallback_entered_at_ = sim().now();
+  ++stats_.fallbacks_entered;
+  if (timer_ != sim::kInvalidEvent) {
+    sim().cancel(timer_);
+    timer_ = sim::kInvalidEvent;
+  }
+
+  // Reset per-view voting state: r̄_vote[j] = h̄_vote[j] = 0 for all j.
+  r_vote_bar_.assign(params().n, 0);
+  h_vote_bar_.assign(params().n, 0);
+  best_fqc_by_proposer_.clear();
+  own_fblock_.clear();
+  own_height_ = 0;
+  top_fqc_proposers_.clear();
+  top_fqc_signers_.clear();
+  sent_top_fqc_ = false;
+  persist_vote_state();  // durable before the height-1 f-block leaves
+
+  // Multicast tc̄ together with our height-1 f-block
+  // B̄ = [id, qc_high, qc_high.r + 1, v_cur, txn, 1, i].
+  propose_fblock(1, qc_high(), ftc);
+}
+
+void FallbackReplica::propose_fblock(FallbackHeight height, const smr::Certificate& parent,
+                                     const std::optional<smr::FallbackTC>& ftc) {
+  if (fault().crashed()) return;
+  own_height_ = height;
+
+  if (fault().equivocates()) {
+    // Equivocating f-chain: conflicting f-blocks at the same height to
+    // different halves. The per-proposer r̄_vote/h̄_vote voting rules stop
+    // more than one from certifying per (view, round).
+    smr::Block a =
+        smr::Block::make(parent, parent.round + 1, v_cur_, height, id(), next_payload());
+    smr::Block b =
+        smr::Block::make(parent, parent.round + 1, v_cur_, height, id(), next_payload());
+    own_fblock_[height] = a.id;
+    store_block(a, id());
+    note_block_born(a.id);
+    note_block_born(b.id);
+    for (ReplicaId to = 0; to < params().n; ++to) {
+      smr::FbProposalMsg msg;
+      msg.block = (to % 2 == 0) ? a : b;
+      msg.ftc = ftc;
+      msg.coins = evidence_for(parent);
+      send(to, std::move(msg));
+    }
+    ++stats_.proposals_sent;
+    return;
+  }
+
+  smr::Block block = smr::Block::make(parent, parent.round + 1, v_cur_, height, id(),
+                                      next_payload());
+  own_fblock_[height] = block.id;
+  store_block(block, id());
+  note_block_born(block.id);
+  smr::FbProposalMsg msg;
+  msg.block = std::move(block);
+  msg.ftc = ftc;
+  msg.coins = evidence_for(parent);
+  ++stats_.proposals_sent;
+  multicast(std::move(msg));
+}
+
+void FallbackReplica::handle_fb_proposal(ReplicaId from, smr::FbProposalMsg&& msg) {
+  smr::Block& block = msg.block;
+  if (!block.id_consistent()) return;
+  if (block.height < 1 || block.height > fb_.chain_len) return;
+  if (block.proposer != from) return;
+  if (!verify_certificate(crypto_sys(), block.parent)) return;
+  install_attached_coins(msg.coins);
+
+  // An attached valid f-TC can pull us into the fallback (Enter Fallback
+  // triggers on receiving an f-TC from any message).
+  if (msg.ftc && verify_ftc(crypto_sys(), *msg.ftc)) handle_ftc(*msg.ftc);
+
+  const smr::Certificate parent = block.parent;
+  const FallbackHeight h = block.height;
+  const Round r = block.round;
+  const View v = block.view;
+  const ReplicaId j = from;
+  const smr::BlockId block_id = block.id;
+  store_block(std::move(block), from);
+
+  // Regular-QC parents feed Lock; f-QC parents are recorded (and drive
+  // adoption). Endorsed f-QC parents also feed Lock via lock_full.
+  if (parent.kind == smr::CertKind::kFallback) {
+    note_fallback_qc(parent, from);
+  }
+  lock_full(parent, from);
+
+  // ---- Fallback Vote (Fig 2) ----
+  if (!fallback_mode_ || v != v_cur_) return;
+  if (h <= h_vote_bar_[j]) return;
+  if (h == 1) {
+    // Height 1: needs the f-TC of the current view and a parent QC with
+    // qc.rank >= rank_lock, r == qc.r + 1. (The always-fallback baseline
+    // has no timeouts, hence no f-TC to check.)
+    const bool ftc_ok =
+        fb_.always_fallback || (msg.ftc && verify_ftc(crypto_sys(), *msg.ftc) &&
+                                msg.ftc->view == v_cur_);
+    if (!ftc_ok) return;
+    if (parent.kind == smr::CertKind::kFallback && !is_endorsed(parent)) return;
+    if (rank_of(parent) < rank_lock()) return;
+    if (r != parent.round + 1) return;
+  } else {
+    // Height 2..chain_len: parent must be the f-QC one height below, same
+    // view, consecutive round, and fresh for this proposer.
+    if (parent.kind != smr::CertKind::kFallback) return;
+    if (parent.view != v_cur_) return;
+    if (r != parent.round + 1) return;
+    if (r <= r_vote_bar_[j]) return;
+    if (h != parent.height + 1) return;
+  }
+
+  if (!externally_valid(store().get(block_id)->payload)) return;
+  if (fault().withholds_votes()) return;
+  r_vote_bar_[j] = r;
+  h_vote_bar_[j] = h;
+  persist_vote_state();  // durable before the fallback vote leaves
+  ++stats_.votes_sent;
+  smr::FbVoteMsg vote;
+  vote.block_id = block_id;
+  vote.round = r;
+  vote.view = v;
+  vote.height = h;
+  vote.chain_owner = j;
+  vote.share = crypto_sys().quorum_sigs.sign_share(
+      id(), smr::cert_signing_message(smr::CertKind::kFallback, block_id, r, v, h, j));
+  send(j, std::move(vote));
+}
+
+void FallbackReplica::handle_fb_vote(const smr::FbVoteMsg& msg) {
+  if (msg.chain_owner != id() || msg.view != v_cur_) return;
+  auto it = own_fblock_.find(msg.height);
+  if (it == own_fblock_.end() || it->second != msg.block_id) return;
+  const Bytes signing = smr::cert_signing_message(smr::CertKind::kFallback, msg.block_id,
+                                                  msg.round, msg.view, msg.height, id());
+  if (!crypto_sys().quorum_sigs.verify_share(msg.share, signing)) return;
+
+  const auto key = std::make_tuple(msg.block_id, msg.height);
+  if (fb_votes_.add(key, msg.share) < params().quorum()) return;
+  auto fqc =
+      smr::combine_certificate(crypto_sys(), smr::CertKind::kFallback, msg.block_id,
+                               msg.round, msg.view, msg.height, id(), fb_votes_.shares(key));
+  if (!fqc) return;
+  note_fallback_qc(*fqc, id());
+
+  // ---- Fallback Propose (Fig 2) ----
+  if (!fallback_mode_) return;
+  if (fqc->height == fb_.chain_len) {
+    if (!sent_top_fqc_) {
+      sent_top_fqc_ = true;
+      multicast(smr::FbQcMsg{*fqc, {}});
+    }
+  } else if (own_height_ == fqc->height) {
+    propose_fblock(fqc->height + 1, *fqc, std::nullopt);
+  }
+}
+
+void FallbackReplica::note_fallback_qc(const smr::Certificate& fqc, ReplicaId hint) {
+  if (fqc.view != v_cur_) {
+    note_certificate(fqc, hint);  // still feed the commit scan
+    return;
+  }
+  note_certificate(fqc, hint);
+  auto it = best_fqc_by_proposer_.find(fqc.proposer);
+  if (it == best_fqc_by_proposer_.end() || it->second.round < fqc.round) {
+    best_fqc_by_proposer_.insert_or_assign(fqc.proposer, fqc);
+  }
+
+  if (!fallback_mode_) return;
+
+  // §3 optimization / Fig 4: extend the first certified f-block we see at
+  // each height instead of waiting for our own chain.
+  if (fb_.adoption_enabled() && fqc.height < fb_.chain_len && own_height_ <= fqc.height) {
+    propose_fblock(fqc.height + 1, fqc, std::nullopt);
+  }
+  // Fig 4 Fallback Propose: re-sign and multicast the first completed
+  // top-height f-QC we see (distinct-signer election counting).
+  if (fb_.adoption_enabled() && fqc.height == fb_.chain_len && !sent_top_fqc_) {
+    sent_top_fqc_ = true;
+    multicast(smr::FbQcMsg{fqc, {}});
+  }
+}
+
+void FallbackReplica::handle_fb_qc(ReplicaId from, const smr::FbQcMsg& msg) {
+  const smr::Certificate& fqc = msg.fqc;
+  if (fqc.kind != smr::CertKind::kFallback || fqc.height != fb_.chain_len) return;
+  if (!verify_certificate(crypto_sys(), fqc)) return;
+  if (fqc.view != v_cur_) return;
+  note_fallback_qc(fqc, from);
+
+  // Leader Election counting: base 3-chain protocol counts distinct
+  // completed chains (proposers); adoption/2-chain modes count distinct
+  // signers of the multicast f-QCs (Fig 4: "signed by distinct replicas").
+  if (fb_.adoption_enabled()) {
+    top_fqc_signers_.insert(from);
+  } else {
+    top_fqc_proposers_.insert(fqc.proposer);
+  }
+  maybe_trigger_election();
+}
+
+void FallbackReplica::maybe_trigger_election() {
+  if (!fallback_mode_) return;
+  if (sent_coin_share_view_ && *sent_coin_share_view_ >= v_cur_) return;
+  const std::size_t count =
+      fb_.adoption_enabled() ? top_fqc_signers_.size() : top_fqc_proposers_.size();
+  if (count < params().quorum()) return;
+  sent_coin_share_view_ = v_cur_;
+  smr::CoinShareMsg msg;
+  msg.view = v_cur_;
+  msg.share = crypto_sys().coin.coin_share(id(), v_cur_);
+  multicast(std::move(msg));
+}
+
+void FallbackReplica::handle_coin_share(const smr::CoinShareMsg& msg) {
+  if (msg.view < v_cur_) return;
+  if (!crypto_sys().coin.verify_coin_share(msg.share, msg.view)) return;
+  if (coin_shares_.add(msg.view, msg.share) < params().coin_quorum()) return;
+  auto coin = smr::combine_coin_qc(crypto_sys(), msg.view, coin_shares_.shares(msg.view));
+  if (coin) process_coin(*coin);
+}
+
+void FallbackReplica::process_coin(const smr::CoinQC& coin) {
+  const bool fresh = install_coin(coin);
+  if (fresh) multicast(smr::CoinQcMsg{coin});  // Exit Fallback: forward the coin-QC
+  if (coin.view < v_cur_) return;
+
+  // ---- Exit Fallback (Fig 2) ----
+  const ReplicaId leader = coin.leader(crypto_sys());
+  const bool was_in_this_fallback =
+      fallback_mode_ && fallback_entered_view_ && *fallback_entered_view_ == coin.view;
+  if (was_in_this_fallback) {
+    // r_vote <- r̄_vote[L] (a plain assignment: it may *lower* r_vote,
+    // which is safe because vote deduplication is per view, and necessary
+    // for liveness when the elected chain is rooted below our last vote).
+    r_vote_ = r_vote_bar_[leader];
+    ++stats_.fallbacks_exited;
+    stats_.fallback_time_total_us += sim().now() - fallback_entered_at_;
+  }
+  fallback_mode_ = false;
+  v_cur_ = coin.view + 1;
+  timed_out_cur_round_ = false;
+  consecutive_timeouts_ = 0;
+  persist_vote_state();  // view change + adopted r_vote become durable
+
+  // Execute Lock on the highest (now endorsed) f-QC of the elected leader
+  // that we recorded during the fallback.
+  if (was_in_this_fallback) {
+    auto it = best_fqc_by_proposer_.find(leader);
+    if (it != best_fqc_by_proposer_.end()) lock_full(it->second, leader);
+  }
+
+  LOG_DEBUG("replica %u: exited fallback of view %llu, leader %u, new view %llu", id(),
+            static_cast<unsigned long long>(coin.view), leader,
+            static_cast<unsigned long long>(v_cur_));
+
+  if (fb_.always_fallback) {
+    enter_fallback(v_cur_, std::nullopt);
+    return;
+  }
+  // Restart the round timer so a dead steady state (e.g. the elected
+  // leader was Byzantine and produced no endorsed chain) times out into
+  // the next fallback instead of deadlocking. The brief announcement
+  // leaves this implicit; without it no timer would be armed when the
+  // exit does not advance the round.
+  arm_timer();
+  maybe_propose_steady();
+}
+
+std::vector<smr::CoinQC> FallbackReplica::evidence_for(const smr::Certificate& cert) const {
+  std::vector<smr::CoinQC> coins;
+  if (cert.kind == smr::CertKind::kFallback) {
+    if (const smr::CoinQC* c = coin_for(cert.view); c != nullptr) coins.push_back(*c);
+  }
+  return coins;
+}
+
+void FallbackReplica::install_attached_coins(const std::vector<smr::CoinQC>& coins) {
+  for (const auto& c : coins) {
+    if (verify_coin_qc(crypto_sys(), c)) process_coin(c);
+  }
+}
+
+}  // namespace repro::core

@@ -1,0 +1,44 @@
+// Byzantine fault injection.
+//
+// The paper's adversary corrupts up to f replicas arbitrarily. We model
+// the classic concrete behaviours used to stress BFT implementations.
+// (Signature forgery is outside the modeled threat surface — see
+// DESIGN.md §2 — so faults are behavioural, not cryptographic.)
+#pragma once
+
+#include <cstdint>
+
+namespace repro::core {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  /// Dead from the start: never sends, never reacts.
+  kCrash,
+  /// Participates (votes, timeouts) but never proposes anything — the
+  /// "bad leader" whose rounds always time out.
+  kMuteLeader,
+  /// Proposes conflicting blocks for the same round to different halves
+  /// of the network (safety attack).
+  kEquivocate,
+  /// Never votes (steady state or fallback), slowing quorum formation.
+  kWithholdVotes,
+  /// Multicasts timeout messages continuously regardless of progress.
+  kTimeoutSpam,
+  /// Proposes transaction batches that fail the external validity
+  /// predicate. (Convention used by the fault injector: batches are
+  /// prefixed with 0xFF; install a validator that rejects that prefix.)
+  kInvalidTxns,
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+
+  bool crashed() const { return kind == FaultKind::kCrash; }
+  bool mute() const { return kind == FaultKind::kMuteLeader || crashed(); }
+  bool equivocates() const { return kind == FaultKind::kEquivocate; }
+  bool withholds_votes() const { return kind == FaultKind::kWithholdVotes; }
+  bool spams_timeouts() const { return kind == FaultKind::kTimeoutSpam; }
+  bool proposes_invalid_txns() const { return kind == FaultKind::kInvalidTxns; }
+};
+
+}  // namespace repro::core

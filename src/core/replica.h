@@ -1,0 +1,85 @@
+// The replica interface every protocol variant implements, plus the
+// environment handed to replicas at construction.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/config.h"
+#include "crypto/dealer.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+#include "smr/ledger.h"
+#include "storage/wal.h"
+
+namespace repro::core {
+
+/// Everything a replica needs from its environment. The crypto system is
+/// the trusted dealer's output, shared read-only.
+struct ReplicaContext {
+  sim::IExecutor* sim = nullptr;
+  net::INetwork* net = nullptr;
+  std::shared_ptr<const crypto::CryptoSystem> crypto;
+  ReplicaId id = 0;
+  ProtocolConfig config;
+  std::uint64_t seed = 0;  ///< per-replica RNG stream seed
+
+  /// Optional harness hook: invoked when this replica creates a block
+  /// (latency experiments measure commit_time - birth_time).
+  std::function<void(const smr::BlockId&, SimTime)> on_block_born;
+
+  /// Optional application hook: supplies the transaction batch for each
+  /// block this replica proposes (e.g. the replicated KV store example).
+  /// Defaults to the synthetic mempool when unset.
+  std::function<Bytes()> payload_source;
+
+  /// Optional write-ahead log. When set, the replica makes its vote state
+  /// durable before every vote/proposal and recovers it at construction,
+  /// so a crash + restart can never make it equivocate. Not owned.
+  storage::Wal* wal = nullptr;
+};
+
+/// Observable per-replica protocol counters (for experiments and tests).
+struct ReplicaStats {
+  std::uint64_t proposals_sent = 0;
+  std::uint64_t votes_sent = 0;
+  std::uint64_t timeouts_sent = 0;
+  std::uint64_t fallbacks_entered = 0;
+  std::uint64_t fallbacks_exited = 0;
+  std::uint64_t blocks_fetched = 0;
+  /// Total simulated time spent inside fallbacks (enter -> exit), summed
+  /// over completed fallbacks. Mean duration = total / fallbacks_exited.
+  std::uint64_t fallback_time_total_us = 0;
+};
+
+class IReplica {
+ public:
+  virtual ~IReplica() = default;
+
+  /// Begin the protocol (enter round 1). Call after network handlers are
+  /// registered for all replicas.
+  virtual void start() = 0;
+
+  /// Deliver a raw network payload (the Network calls this).
+  virtual void on_message(ReplicaId from, const Bytes& payload) = 0;
+
+  /// Permanently silence this instance (crash simulation): pending timer
+  /// callbacks and deliveries become no-ops. Used by the harness before
+  /// replacing an instance with a WAL-recovered one.
+  virtual void halt() = 0;
+
+  virtual ReplicaId id() const = 0;
+  virtual const smr::Ledger& ledger() const = 0;
+  virtual smr::Ledger& ledger() = 0;
+
+  // Introspection for tests / metrics.
+  virtual Round current_round() const = 0;
+  virtual View current_view() const = 0;
+  virtual bool in_fallback() const = 0;
+  virtual const ReplicaStats& stats() const = 0;
+};
+
+}  // namespace repro::core

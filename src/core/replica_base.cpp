@@ -1,0 +1,281 @@
+#include "core/replica_base.h"
+
+#include "common/log.h"
+
+namespace repro::core {
+
+ReplicaBase::ReplicaBase(const ReplicaContext& ctx)
+    : sim_(ctx.sim),
+      net_(ctx.net),
+      crypto_(ctx.crypto),
+      params_(ctx.crypto->params),
+      id_(ctx.id),
+      cfg_(ctx.config),
+      rng_(ctx.seed),
+      mempool_(ctx.id, ctx.config.batch_bytes, Rng(ctx.seed ^ 0x6d656d706f6f6cull)),
+      on_block_born_(ctx.on_block_born),
+      payload_source_(ctx.payload_source),
+      wal_(ctx.wal) {
+  REPRO_ASSERT(sim_ != nullptr && net_ != nullptr && crypto_ != nullptr);
+  qc_high_ = smr::genesis_certificate();
+}
+
+void ReplicaBase::persist_vote_state() {
+  if (wal_ == nullptr) return;
+  Encoder enc;
+  enc.u64(r_vote_);
+  enc.u64(rank_lock_.view);
+  enc.bool_(rank_lock_.endorsed);
+  enc.u64(rank_lock_.round);
+  enc.u64(v_cur_);
+  qc_high_.encode(enc);
+  enc.u32(static_cast<std::uint32_t>(coins_.size()));
+  for (const auto& [view, coin] : coins_) coin.encode(enc);
+  encode_extra_state(enc);
+  wal_->append(enc.result());
+}
+
+bool ReplicaBase::recover_from_wal() {
+  if (wal_ == nullptr) return false;
+  const auto records = wal_->replay();
+  if (records.empty()) return false;
+  // Snapshots are complete, so only the newest matters.
+  Decoder dec(records.back());
+  auto r_vote = dec.u64();
+  auto lock_view = dec.u64();
+  auto lock_endorsed = dec.bool_();
+  auto lock_round = dec.u64();
+  auto v_cur = dec.u64();
+  auto qc_high = smr::Certificate::decode(dec);
+  auto coin_count = dec.u32();
+  if (!r_vote || !lock_view || !lock_endorsed || !lock_round || !v_cur || !qc_high ||
+      !coin_count) {
+    LOG_ERROR("replica %u: corrupted WAL snapshot; starting fresh", id_);
+    return false;
+  }
+  std::map<View, smr::CoinQC> coins;
+  for (std::uint32_t i = 0; i < *coin_count; ++i) {
+    auto coin = smr::CoinQC::decode(dec);
+    if (!coin) return false;
+    coins.emplace(coin->view, *coin);
+  }
+  r_vote_ = *r_vote;
+  rank_lock_ = smr::Rank{*lock_view, *lock_endorsed, *lock_round};
+  v_cur_ = *v_cur;
+  qc_high_ = *qc_high;
+  coins_ = std::move(coins);
+  // The chain itself is not logged: r_cur re-derives from qc_high and the
+  // block bodies return through the block-retrieval path as peers talk to
+  // us. Conservative: never behind round 1.
+  r_cur_ = std::max<Round>(1, qc_high_.round + 1);
+  if (!restore_extra_state(dec)) {
+    LOG_ERROR("replica %u: corrupted WAL extra state; keeping base state", id_);
+  }
+  recovered_ = true;
+  return true;
+}
+
+void ReplicaBase::on_message(ReplicaId from, const Bytes& payload) {
+  if (halted_ || cfg_.fault.crashed()) return;
+  auto msg = smr::decode_message(payload);
+  if (!msg) {
+    LOG_WARN("replica %u: dropping malformed message from %u", id_, from);
+    return;
+  }
+  if (!smr::verify_message_signature(*crypto_, from, *msg)) {
+    LOG_WARN("replica %u: bad signature on message from %u", id_, from);
+    return;
+  }
+
+  // Block retrieval is protocol-independent; handle it here.
+  if (auto* req = std::get_if<smr::BlockRequestMsg>(&*msg)) {
+    const smr::Block* b = store_.get(req->block_id);
+    if (b == nullptr) return;
+    smr::BlockResponseMsg resp;
+    resp.blocks.push_back(*b);
+    const std::uint32_t extra = std::min(req->ancestors, smr::kMaxBlocksPerResponse - 1);
+    const smr::Block* cur = b;
+    for (std::uint32_t i = 0; i < extra && !cur->is_genesis(); ++i) {
+      cur = store_.get(cur->parent.block_id);
+      if (cur == nullptr) break;
+      resp.blocks.push_back(*cur);
+    }
+    send(from, std::move(resp));
+    return;
+  }
+  if (auto* resp = std::get_if<smr::BlockResponseMsg>(&*msg)) {
+    if (resp->blocks.size() > smr::kMaxBlocksPerResponse) return;
+    // Oldest first, so deferred work retries at most once per block.
+    for (auto it = resp->blocks.rbegin(); it != resp->blocks.rend(); ++it) {
+      store_block(std::move(*it), from);
+    }
+    return;
+  }
+
+  handle_message(from, std::move(*msg));
+}
+
+void ReplicaBase::send(ReplicaId to, smr::Message msg) {
+  smr::sign_message(*crypto_, id_, msg);
+  net_->send(id_, to, smr::encode_message(msg));
+}
+
+void ReplicaBase::multicast(smr::Message msg) {
+  smr::sign_message(*crypto_, id_, msg);
+  net_->multicast(id_, smr::encode_message(msg));
+}
+
+bool ReplicaBase::is_endorsed(const smr::Certificate& cert) const {
+  if (cert.kind != smr::CertKind::kFallback) return false;
+  auto it = coins_.find(cert.view);
+  if (it == coins_.end()) return false;
+  return it->second.leader(*crypto_) == cert.proposer;
+}
+
+bool ReplicaBase::counts_for_commit(const smr::Certificate& cert) const {
+  if (cert.kind == smr::CertKind::kQuorum) return true;
+  if (cert.kind == smr::CertKind::kFallback) return is_endorsed(cert);
+  return false;
+}
+
+bool ReplicaBase::install_coin(const smr::CoinQC& coin) {
+  const bool fresh = coins_.emplace(coin.view, coin).second;
+  if (!fresh) return false;
+  // Endorsements of recorded f-QCs of this view may have flipped on:
+  // rescan them for commit (the Exit Fallback "check for commit").
+  for (const auto& cert : store_.certificates()) {
+    if (cert.kind == smr::CertKind::kFallback && cert.view == coin.view) {
+      try_commit_from(cert, cert.proposer);
+    }
+  }
+  return true;
+}
+
+const smr::CoinQC* ReplicaBase::coin_for(View view) const {
+  auto it = coins_.find(view);
+  return it == coins_.end() ? nullptr : &it->second;
+}
+
+void ReplicaBase::note_certificate(const smr::Certificate& cert, ReplicaId hint) {
+  store_.add_certificate(cert);
+  try_commit_from(cert, hint);
+}
+
+void ReplicaBase::update_qc_high(const smr::Certificate& qc) {
+  if (rank_of(qc) > rank_of(qc_high_)) qc_high_ = qc;
+}
+
+void ReplicaBase::lock_parent_rank(const smr::Certificate& qc, ReplicaId hint) {
+  const smr::Block* b = store_.get(qc.block_id);
+  if (b == nullptr) {
+    waiting_lock_[qc.block_id].push_back(qc);
+    ensure_block(qc.block_id, hint);
+    return;
+  }
+  rank_lock_ = smr::max(rank_lock_, rank_of(b->parent));
+}
+
+void ReplicaBase::lock_direct_rank(const smr::Certificate& qc) {
+  rank_lock_ = smr::max(rank_lock_, rank_of(qc));
+}
+
+bool ReplicaBase::ensure_block(const smr::BlockId& id, ReplicaId hint) {
+  if (store_.contains(id)) return true;
+  if (outstanding_fetches_.insert(id).second) {
+    ++stats_.blocks_fetched;
+    // Ask for an ancestor range: when we are missing one block we are
+    // often missing a suffix of the chain (catch-up after a crash or
+    // partition), and batched backfill must outpace chain growth — 16
+    // blocks per round trip is ~30x the steady-state commit rate while
+    // keeping responses small when only one block was actually missing.
+    send(hint == id_ ? leader_of(r_cur_) : hint, smr::BlockRequestMsg{id, 16});
+  }
+  return false;
+}
+
+const smr::Block* ReplicaBase::store_block(smr::Block block, ReplicaId from) {
+  if (!block.id_consistent()) {
+    LOG_WARN("replica %u: dropping id-inconsistent block from %u", id_, from);
+    return nullptr;
+  }
+  const smr::BlockId id = block.id;
+  if (!store_.insert(std::move(block))) return store_.get(id);
+  outstanding_fetches_.erase(id);
+  const smr::Block* stored = store_.get(id);
+  retry_deferred(id, from);
+  on_block_stored(*stored, from);
+  return stored;
+}
+
+void ReplicaBase::on_block_stored(const smr::Block&, ReplicaId) {}
+
+void ReplicaBase::defer_commit(const smr::BlockId& missing, const smr::Certificate& cert) {
+  auto& waiting = waiting_commit_[missing];
+  // During catch-up many certificates stall on the same missing ancestor;
+  // queueing duplicates makes every retry quadratic.
+  for (const auto& c : waiting) {
+    if (c.block_id == cert.block_id) return;
+  }
+  waiting.push_back(cert);
+}
+
+void ReplicaBase::retry_deferred(const smr::BlockId& id, ReplicaId from) {
+  if (auto it = waiting_lock_.find(id); it != waiting_lock_.end()) {
+    auto certs = std::move(it->second);
+    waiting_lock_.erase(it);
+    for (const auto& c : certs) lock_parent_rank(c, from);
+  }
+  if (auto it = waiting_commit_.find(id); it != waiting_commit_.end()) {
+    auto certs = std::move(it->second);
+    waiting_commit_.erase(it);
+    for (const auto& c : certs) try_commit_from(c, from);
+  }
+}
+
+void ReplicaBase::try_commit_from(const smr::Certificate& cert, ReplicaId hint) {
+  // The commit rule (paper Fig 2 / Fig 4): commit_len() adjacent blocks,
+  // each certified (regular QC) or endorsed (f-QC), with consecutive
+  // round numbers and the same view number; commit the oldest and its
+  // ancestors. `cert` certifies the newest block of the candidate chain.
+  if (!counts_for_commit(cert)) return;
+
+  const std::uint32_t len = commit_len();
+  smr::Certificate cur = cert;
+  const smr::Block* oldest = nullptr;
+  for (std::uint32_t k = 0; k + 1 < len; ++k) {
+    const smr::Block* b = store_.get(cur.block_id);
+    if (b == nullptr) {
+      defer_commit(cur.block_id, cert);
+      ensure_block(cur.block_id, hint);
+      return;
+    }
+    const smr::Certificate& parent = b->parent;
+    if (!counts_for_commit(parent)) return;
+    if (parent.view != cert.view) return;        // same view number
+    if (parent.round + 1 != cur.round) return;   // consecutive rounds
+    cur = parent;
+    oldest = nullptr;  // resolved below once the loop settles on `cur`
+  }
+  oldest = store_.get(cur.block_id);
+  if (oldest == nullptr) {
+    defer_commit(cur.block_id, cert);
+    ensure_block(cur.block_id, hint);
+    return;
+  }
+  if (ledger_.is_committed(oldest->id)) return;
+
+  std::optional<smr::BlockId> missing;
+  if (!ledger_.can_commit(*oldest, store_, &missing)) {
+    defer_commit(*missing, cert);
+    ensure_block(*missing, hint);
+    return;
+  }
+  const std::size_t n = ledger_.commit_chain(*oldest, store_, sim_->now());
+  if (n > 0) {
+    LOG_DEBUG("replica %u: committed %zu block(s), tip round %llu view %llu", id_, n,
+              static_cast<unsigned long long>(oldest->round),
+              static_cast<unsigned long long>(oldest->view));
+  }
+}
+
+}  // namespace repro::core

@@ -1,0 +1,237 @@
+// Shared machinery for all protocol variants: block store and ledger,
+// endorsement-aware ranking, Lock-step helpers, the commit-rule scanner
+// (parameterized by commit chain length), block retrieval, and message
+// signing/dispatch. Protocol-specific logic lives in the subclasses.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/replica.h"
+#include "smr/block_store.h"
+#include "smr/ledger.h"
+#include "smr/mempool.h"
+#include "smr/messages.h"
+
+namespace repro::core {
+
+/// Accumulates threshold-signature shares per key, deduplicating signers.
+/// Callers verify shares *before* adding.
+template <typename Key>
+class SigPool {
+ public:
+  /// Returns the number of distinct signers for `key` after the insert.
+  std::size_t add(const Key& key, const crypto::PartialSig& share) {
+    auto& m = pool_[key];
+    m.emplace(share.signer, share);
+    return m.size();
+  }
+
+  std::size_t count(const Key& key) const {
+    auto it = pool_.find(key);
+    return it == pool_.end() ? 0 : it->second.size();
+  }
+
+  std::vector<crypto::PartialSig> shares(const Key& key) const {
+    std::vector<crypto::PartialSig> out;
+    auto it = pool_.find(key);
+    if (it == pool_.end()) return out;
+    out.reserve(it->second.size());
+    for (const auto& [signer, share] : it->second) out.push_back(share);
+    return out;
+  }
+
+  void clear() { pool_.clear(); }
+
+  /// Drop entries whose key matches `pred` (periodic pruning of stale
+  /// rounds/views keeps long-running replicas at bounded memory).
+  template <typename Pred>
+  void erase_if(Pred pred) {
+    for (auto it = pool_.begin(); it != pool_.end();) {
+      it = pred(it->first) ? pool_.erase(it) : std::next(it);
+    }
+  }
+
+  std::size_t size() const { return pool_.size(); }
+
+ private:
+  std::map<Key, std::map<ReplicaId, crypto::PartialSig>> pool_;
+};
+
+class ReplicaBase : public IReplica {
+ public:
+  explicit ReplicaBase(const ReplicaContext& ctx);
+
+  // IReplica ----------------------------------------------------------
+  void on_message(ReplicaId from, const Bytes& payload) final;
+  void halt() final { halted_ = true; }
+  ReplicaId id() const final { return id_; }
+  const smr::Ledger& ledger() const final { return ledger_; }
+  smr::Ledger& ledger() final { return ledger_; }
+  Round current_round() const final { return r_cur_; }
+  View current_view() const final { return v_cur_; }
+  const ReplicaStats& stats() const final { return stats_; }
+
+  // Extra introspection used by tests / harness.
+  const smr::BlockStore& store() const { return store_; }
+  const smr::Certificate& qc_high() const { return qc_high_; }
+  smr::Rank rank_lock() const { return rank_lock_; }
+  Round r_vote() const { return r_vote_; }
+  /// Coin-QCs this replica has learned (view -> coin).
+  const std::map<View, smr::CoinQC>& coins() const { return coins_; }
+  /// Whether construction restored a WAL snapshot.
+  bool recovered() const { return recovered_; }
+  bool halted() const { return halted_; }
+
+ protected:
+  /// Commit-rule chain length: 3 for the paper's base protocols, 2 for
+  /// the Figure-4 variant.
+  virtual std::uint32_t commit_len() const = 0;
+
+  /// Dispatch a decoded, signature-verified message.
+  virtual void handle_message(ReplicaId from, smr::Message&& msg) = 0;
+
+  /// Hook invoked whenever a previously missing block body arrives
+  /// (via proposal or fetch); subclasses retry deferred decisions.
+  virtual void on_block_stored(const smr::Block& block, ReplicaId from);
+
+  // Messaging ----------------------------------------------------------
+  void send(ReplicaId to, smr::Message msg);
+  void multicast(smr::Message msg);
+
+  // Ranking / endorsement ----------------------------------------------
+  /// An f-QC is endorsed iff we know a coin-QC of its view electing its
+  /// proposer (paper §3 "Endorsed Fallback-QC").
+  bool is_endorsed(const smr::Certificate& cert) const;
+  smr::Rank rank_of(const smr::Certificate& cert) const {
+    return cert.rank(is_endorsed(cert));
+  }
+  /// A certificate "counts" for the commit rule: a regular QC or an
+  /// endorsed f-QC.
+  bool counts_for_commit(const smr::Certificate& cert) const;
+
+  /// Install a coin-QC (must be pre-verified). Re-scans certificates of
+  /// that view for newly committable chains. Returns true if new.
+  bool install_coin(const smr::CoinQC& coin);
+  const smr::CoinQC* coin_for(View view) const;
+
+  // Certificates / commit ------------------------------------------------
+  /// Record a certificate (pre-verified) and run the commit scanner from
+  /// it. `hint` is who showed it to us (fetch target for missing bodies).
+  void note_certificate(const smr::Certificate& cert, ReplicaId hint);
+
+  /// qc_high <- max(qc_high, qc) by endorsement-aware rank.
+  void update_qc_high(const smr::Certificate& qc);
+
+  /// 2-chain lock rule (Figures 1/2): rank_lock <- max(rank_lock,
+  /// parent(qc).rank). Needs the certified block's body; defers and
+  /// fetches if missing.
+  void lock_parent_rank(const smr::Certificate& qc, ReplicaId hint);
+
+  /// 1-chain lock rule (Figure 4): rank_lock <- max(rank_lock, qc.rank).
+  void lock_direct_rank(const smr::Certificate& qc);
+
+  // Blocks ---------------------------------------------------------------
+  /// True if the body is present; otherwise requests it from `hint` and
+  /// returns false.
+  bool ensure_block(const smr::BlockId& id, ReplicaId hint);
+
+  /// Validates id-consistency and stores; triggers deferred work.
+  /// Returns the stored block or nullptr if invalid.
+  const smr::Block* store_block(smr::Block block, ReplicaId from);
+
+  // Environment ----------------------------------------------------------
+  sim::IExecutor& sim() { return *sim_; }
+  net::INetwork& net() { return *net_; }
+  const crypto::CryptoSystem& crypto_sys() const { return *crypto_; }
+  const QuorumParams& params() const { return params_; }
+  const ProtocolConfig& config() const { return cfg_; }
+  Rng& rng() { return rng_; }
+  smr::Mempool& mempool() { return mempool_; }
+
+  ReplicaId leader_of(Round round) const {
+    return round_leader(round, params_.n, cfg_.leader_rotation);
+  }
+
+  const FaultSpec& fault() const { return cfg_.fault; }
+
+  /// Report block creation to the harness (latency measurements).
+  void note_block_born(const smr::BlockId& id) {
+    if (on_block_born_) on_block_born_(id, sim_->now());
+  }
+
+  /// Transaction batch for the next proposed block: the application's
+  /// payload source if one is installed, else the synthetic mempool. The
+  /// kInvalidTxns fault corrupts the batch (0xFF prefix) so external
+  /// validity rejections can be exercised.
+  Bytes next_payload() {
+    Bytes batch = payload_source_ ? payload_source_() : mempool_.next_batch();
+    if (cfg_.fault.proposes_invalid_txns()) {
+      batch.insert(batch.begin(), 0xFF);
+    }
+    return batch;
+  }
+
+  /// Paper §2 external validity: "adding validity checks on the
+  /// transactions before the replicas proposing or voting".
+  bool externally_valid(BytesView payload) const {
+    return !cfg_.external_validator || cfg_.external_validator(payload);
+  }
+
+  // Durability ------------------------------------------------------------
+  /// Append a full vote-state snapshot to the WAL (no-op without one).
+  /// Called by the protocol immediately *before* any message that the
+  /// state change guards (votes, proposals) goes out.
+  void persist_vote_state();
+
+  /// Protocol-specific state appended to / restored from each snapshot.
+  virtual void encode_extra_state(Encoder& enc) const { (void)enc; }
+  virtual bool restore_extra_state(Decoder& dec) { (void)dec; return true; }
+
+  /// Restore the last snapshot, if any. Subclass constructors call this
+  /// (after their own members exist, so the virtual restore dispatches).
+  /// Returns true if a snapshot was restored.
+  bool recover_from_wal();
+
+  // Mutable protocol state shared by all variants -------------------------
+  Round r_vote_ = 0;                ///< highest voted round
+  smr::Rank rank_lock_{};           ///< highest locked rank
+  Round r_cur_ = 1;                 ///< current round
+  View v_cur_ = 0;                  ///< current view
+  smr::Certificate qc_high_;        ///< highest known QC (genesis initially)
+  smr::BlockStore store_;
+  smr::Ledger ledger_;
+  ReplicaStats stats_;
+
+ private:
+  void try_commit_from(const smr::Certificate& cert, ReplicaId hint);
+  void defer_commit(const smr::BlockId& missing, const smr::Certificate& cert);
+  void retry_deferred(const smr::BlockId& id, ReplicaId from);
+
+  sim::IExecutor* sim_;
+  net::INetwork* net_;
+  std::shared_ptr<const crypto::CryptoSystem> crypto_;
+  QuorumParams params_;
+  ReplicaId id_;
+  ProtocolConfig cfg_;
+  Rng rng_;
+  smr::Mempool mempool_;
+  std::function<void(const smr::BlockId&, SimTime)> on_block_born_;
+  std::function<Bytes()> payload_source_;
+  storage::Wal* wal_ = nullptr;
+  bool recovered_ = false;
+  bool halted_ = false;
+
+  std::map<View, smr::CoinQC> coins_;
+  std::unordered_set<smr::BlockId, smr::BlockIdHash> outstanding_fetches_;
+  /// Certificates whose commit scan stalled on a missing block body.
+  std::unordered_map<smr::BlockId, std::vector<smr::Certificate>, smr::BlockIdHash>
+      waiting_commit_;
+  /// Certificates whose parent-rank lock stalled on a missing body.
+  std::unordered_map<smr::BlockId, std::vector<smr::Certificate>, smr::BlockIdHash>
+      waiting_lock_;
+};
+
+}  // namespace repro::core

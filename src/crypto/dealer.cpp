@@ -1,0 +1,16 @@
+#include "crypto/dealer.h"
+
+namespace repro::crypto {
+
+std::shared_ptr<const CryptoSystem> CryptoSystem::deal(QuorumParams params,
+                                                       std::uint64_t seed) {
+  Rng rng(seed);
+  auto sys = std::make_shared<CryptoSystem>();
+  sys->params = params;
+  sys->signatures = SignatureScheme::deal(params.n, rng);
+  sys->quorum_sigs = ThresholdScheme::deal(params.n, params.quorum(), rng);
+  sys->coin = CommonCoin::deal(params.n, params.coin_quorum(), rng);
+  return sys;
+}
+
+}  // namespace repro::crypto

@@ -1,0 +1,28 @@
+// Trusted dealer: one-stop key generation for a system of n replicas.
+//
+// The paper assumes "a trusted dealer equips replicas with the above
+// cryptographic schemes" (liftable via asynchronous DKG, which it cites).
+// CryptoSystem is that dealer's output, shared read-only by all simulated
+// replicas.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "crypto/signer.h"
+#include "crypto/threshold.h"
+
+namespace repro::crypto {
+
+struct CryptoSystem {
+  QuorumParams params;
+  SignatureScheme signatures;   ///< per-replica ⟨m⟩_i
+  ThresholdScheme quorum_sigs;  ///< (2f+1)-of-n, for QCs / TCs / f-QCs / f-TCs
+  CommonCoin coin;              ///< (f+1)-of-n leader-election coin
+
+  /// Deals everything for n = 3f+1 replicas from a seed.
+  static std::shared_ptr<const CryptoSystem> deal(QuorumParams params, std::uint64_t seed);
+};
+
+}  // namespace repro::crypto

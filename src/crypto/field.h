@@ -1,0 +1,90 @@
+// Arithmetic in GF(p) with p = 2^61 - 1 (a Mersenne prime).
+//
+// The threshold-signature and common-coin schemes do real Shamir secret
+// sharing and Lagrange interpolation over this field. A Mersenne prime
+// makes reduction branch-free and fast.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.h"
+
+namespace repro::crypto {
+
+/// Field element of GF(2^61 - 1). Value is kept reduced in [0, p).
+class Fp {
+ public:
+  static constexpr std::uint64_t kP = (1ull << 61) - 1;
+
+  constexpr Fp() = default;
+  /// Reduces any u64 into the field.
+  constexpr explicit Fp(std::uint64_t v) : v_(reduce64(v)) {}
+
+  constexpr std::uint64_t value() const { return v_; }
+  constexpr bool is_zero() const { return v_ == 0; }
+
+  friend constexpr Fp operator+(Fp a, Fp b) {
+    std::uint64_t s = a.v_ + b.v_;  // < 2^62, no overflow
+    if (s >= kP) s -= kP;
+    return from_reduced(s);
+  }
+
+  friend constexpr Fp operator-(Fp a, Fp b) {
+    std::uint64_t s = a.v_ + kP - b.v_;
+    if (s >= kP) s -= kP;
+    return from_reduced(s);
+  }
+
+  friend constexpr Fp operator*(Fp a, Fp b) {
+    const unsigned __int128 prod = static_cast<unsigned __int128>(a.v_) * b.v_;
+    // Mersenne reduction: x = hi*2^61 + lo  =>  x mod p = hi + lo (mod p).
+    const std::uint64_t lo = static_cast<std::uint64_t>(prod) & kP;
+    const std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+    std::uint64_t s = lo + hi;
+    if (s >= kP) s -= kP;
+    if (s >= kP) s -= kP;
+    return from_reduced(s);
+  }
+
+  constexpr Fp& operator+=(Fp o) { return *this = *this + o; }
+  constexpr Fp& operator-=(Fp o) { return *this = *this - o; }
+  constexpr Fp& operator*=(Fp o) { return *this = *this * o; }
+
+  constexpr bool operator==(const Fp&) const = default;
+
+  /// Exponentiation by squaring.
+  Fp pow(std::uint64_t e) const {
+    Fp base = *this;
+    Fp result(1);
+    while (e != 0) {
+      if (e & 1) result *= base;
+      base *= base;
+      e >>= 1;
+    }
+    return result;
+  }
+
+  /// Multiplicative inverse via Fermat's little theorem. Input must be
+  /// nonzero.
+  Fp inverse() const {
+    REPRO_ASSERT_MSG(!is_zero(), "inverse of zero");
+    return pow(kP - 2);
+  }
+
+ private:
+  static constexpr std::uint64_t reduce64(std::uint64_t v) {
+    std::uint64_t s = (v & kP) + (v >> 61);
+    if (s >= kP) s -= kP;
+    return s;
+  }
+
+  static constexpr Fp from_reduced(std::uint64_t v) {
+    Fp f;
+    f.v_ = v;
+    return f;
+  }
+
+  std::uint64_t v_ = 0;
+};
+
+}  // namespace repro::crypto

@@ -1,0 +1,54 @@
+#include "crypto/shamir.h"
+
+#include "common/assert.h"
+
+namespace repro::crypto {
+
+std::vector<Share> deal_shares(Fp secret, std::uint32_t n, std::uint32_t t, Rng& rng) {
+  REPRO_ASSERT(t >= 1 && t <= n);
+  // Random polynomial f of degree t-1 with f(0) = secret.
+  std::vector<Fp> coeffs(t);
+  coeffs[0] = secret;
+  for (std::uint32_t i = 1; i < t; ++i) coeffs[i] = Fp(rng.next());
+
+  std::vector<Share> shares;
+  shares.reserve(n);
+  for (ReplicaId id = 0; id < n; ++id) {
+    const Fp x(static_cast<std::uint64_t>(id) + 1);
+    // Horner evaluation.
+    Fp y;
+    for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it) y = y * x + *it;
+    shares.push_back(Share{id, y});
+  }
+  return shares;
+}
+
+Fp lagrange_coefficient_at_zero(std::span<const ReplicaId> ids, std::size_t index) {
+  REPRO_ASSERT(index < ids.size());
+  const Fp xi(static_cast<std::uint64_t>(ids[index]) + 1);
+  Fp num(1);
+  Fp den(1);
+  for (std::size_t j = 0; j < ids.size(); ++j) {
+    if (j == index) continue;
+    const Fp xj(static_cast<std::uint64_t>(ids[j]) + 1);
+    REPRO_ASSERT_MSG(!(xj == xi), "duplicate share ids in interpolation");
+    num *= Fp(0) - xj;  // (0 - x_j)
+    den *= xi - xj;     // (x_i - x_j)
+  }
+  return num * den.inverse();
+}
+
+Fp reconstruct_secret(std::span<const Share> shares, std::uint32_t t) {
+  REPRO_ASSERT(shares.size() >= t);
+  std::vector<ReplicaId> ids;
+  ids.reserve(t);
+  for (std::uint32_t i = 0; i < t; ++i) ids.push_back(shares[i].id);
+
+  Fp secret;
+  for (std::uint32_t i = 0; i < t; ++i) {
+    secret += shares[i].value * lagrange_coefficient_at_zero(ids, i);
+  }
+  return secret;
+}
+
+}  // namespace repro::crypto

@@ -1,0 +1,37 @@
+// Shamir secret sharing and Lagrange interpolation over GF(2^61 - 1).
+//
+// The threshold-signature and common-coin schemes are built on top of
+// this: a trusted dealer shares a secret with a degree-(t-1) polynomial,
+// and any t shares reconstruct (interpolate at x = 0).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "crypto/field.h"
+
+namespace repro::crypto {
+
+/// One share: the polynomial evaluated at x = id + 1 (x = 0 is the secret
+/// itself and is never handed out).
+struct Share {
+  ReplicaId id = 0;
+  Fp value;
+};
+
+/// Deal `n` shares of `secret` with reconstruction threshold `t`
+/// (any t shares suffice, any t-1 reveal nothing).
+std::vector<Share> deal_shares(Fp secret, std::uint32_t n, std::uint32_t t, Rng& rng);
+
+/// Lagrange coefficient λ_i at x = 0 for the set of x-coordinates
+/// {id+1 : id in ids}; `index` selects which member the coefficient is for.
+Fp lagrange_coefficient_at_zero(std::span<const ReplicaId> ids, std::size_t index);
+
+/// Reconstruct the secret from exactly-threshold-many distinct shares.
+/// Caller must pass >= t distinct shares; only the first t are used.
+Fp reconstruct_secret(std::span<const Share> shares, std::uint32_t t);
+
+}  // namespace repro::crypto

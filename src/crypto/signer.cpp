@@ -1,0 +1,32 @@
+#include "crypto/signer.h"
+
+#include "common/assert.h"
+
+namespace repro::crypto {
+
+SignatureScheme SignatureScheme::deal(std::uint32_t n, Rng& rng) {
+  SignatureScheme s;
+  s.keys_.resize(n);
+  for (auto& key : s.keys_) {
+    for (std::size_t i = 0; i < key.size(); i += 8) {
+      const std::uint64_t word = rng.next();
+      for (std::size_t b = 0; b < 8; ++b) key[i + b] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+  return s;
+}
+
+Signature SignatureScheme::sign(ReplicaId signer, BytesView message) const {
+  REPRO_ASSERT(signer < keys_.size());
+  Sha256 ctx;
+  ctx.update(BytesView(keys_[signer].data(), keys_[signer].size()));
+  ctx.update(message);
+  return ctx.finalize();
+}
+
+bool SignatureScheme::verify(ReplicaId signer, BytesView message, const Signature& sig) const {
+  if (signer >= keys_.size()) return false;
+  return sign(signer, message) == sig;
+}
+
+}  // namespace repro::crypto

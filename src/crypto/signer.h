@@ -1,0 +1,38 @@
+// Per-replica authenticated signatures ⟨m⟩_i.
+//
+// The paper assumes standard PKI signatures. We model them as keyed
+// SHA-256 MACs dealt by the trusted dealer: sig_i(m) = SHA256(k_i || m),
+// 32 bytes (comparable to Ed25519's 64-byte signatures in order of
+// magnitude — message-size accounting stays realistic). Verification uses
+// the dealer's key table; as with the threshold scheme, forgery is outside
+// the modeled threat surface (see DESIGN.md §2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "crypto/sha256.h"
+
+namespace repro::crypto {
+
+/// Wire size: 32 bytes.
+using Signature = std::array<std::uint8_t, 32>;
+
+class SignatureScheme {
+ public:
+  static SignatureScheme deal(std::uint32_t n, Rng& rng);
+
+  std::uint32_t n() const { return static_cast<std::uint32_t>(keys_.size()); }
+
+  Signature sign(ReplicaId signer, BytesView message) const;
+  bool verify(ReplicaId signer, BytesView message, const Signature& sig) const;
+
+ private:
+  std::vector<std::array<std::uint8_t, 32>> keys_;
+};
+
+}  // namespace repro::crypto

@@ -1,0 +1,112 @@
+#include "crypto/threshold.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/codec.h"
+
+namespace repro::crypto {
+
+ThresholdScheme ThresholdScheme::deal(std::uint32_t n, std::uint32_t t, Rng& rng) {
+  ThresholdScheme s;
+  s.n_ = n;
+  s.t_ = t;
+  s.secret_ = Fp(rng.next());
+  auto dealt = deal_shares(s.secret_, n, t, rng);
+  s.shares_.resize(n);
+  for (const auto& sh : dealt) s.shares_[sh.id] = sh.value;
+  return s;
+}
+
+Fp ThresholdScheme::message_point(BytesView message) const {
+  const Digest d = sha256_tagged("repro/thresh-msg", message);
+  Fp h(digest_prefix_u64(d));
+  if (h.is_zero()) h = Fp(1);  // keep the point nonzero so shares never degenerate
+  return h;
+}
+
+PartialSig ThresholdScheme::sign_share(ReplicaId signer, BytesView message) const {
+  REPRO_ASSERT(signer < n_);
+  const Fp h = message_point(message);
+  return PartialSig{signer, (shares_[signer] * h).value()};
+}
+
+bool ThresholdScheme::verify_share(const PartialSig& share, BytesView message) const {
+  if (share.signer >= n_) return false;
+  const Fp h = message_point(message);
+  return (shares_[share.signer] * h).value() == share.value;
+}
+
+std::optional<ThresholdSig> ThresholdScheme::combine(std::span<const PartialSig> shares,
+                                                     BytesView message) const {
+  // Collect the first t distinct valid signers.
+  std::vector<PartialSig> picked;
+  picked.reserve(t_);
+  for (const auto& sh : shares) {
+    if (!verify_share(sh, message)) continue;
+    const bool dup = std::any_of(picked.begin(), picked.end(), [&](const PartialSig& p) {
+      return p.signer == sh.signer;
+    });
+    if (dup) continue;
+    picked.push_back(sh);
+    if (picked.size() == t_) break;
+  }
+  if (picked.size() < t_) return std::nullopt;
+
+  std::vector<ReplicaId> ids;
+  ids.reserve(t_);
+  for (const auto& p : picked) ids.push_back(p.signer);
+
+  Fp combined;
+  for (std::size_t i = 0; i < picked.size(); ++i) {
+    combined += Fp(picked[i].value) * lagrange_coefficient_at_zero(ids, i);
+  }
+  return ThresholdSig{combined.value()};
+}
+
+bool ThresholdScheme::verify(const ThresholdSig& sig, BytesView message) const {
+  const Fp h = message_point(message);
+  return (secret_ * h).value() == sig.value;
+}
+
+CommonCoin CommonCoin::deal(std::uint32_t n, std::uint32_t f_plus_1, Rng& rng) {
+  CommonCoin c;
+  c.n_ = n;
+  c.scheme_ = ThresholdScheme::deal(n, f_plus_1, rng);
+  return c;
+}
+
+Bytes CommonCoin::coin_message(View view) {
+  Encoder enc;
+  enc.str("repro/coin");
+  enc.u64(view);
+  return std::move(enc).result();
+}
+
+PartialSig CommonCoin::coin_share(ReplicaId signer, View view) const {
+  return scheme_.sign_share(signer, coin_message(view));
+}
+
+bool CommonCoin::verify_coin_share(const PartialSig& share, View view) const {
+  return scheme_.verify_share(share, coin_message(view));
+}
+
+std::optional<ThresholdSig> CommonCoin::combine(std::span<const PartialSig> shares,
+                                                View view) const {
+  return scheme_.combine(shares, coin_message(view));
+}
+
+bool CommonCoin::verify(const ThresholdSig& sig, View view) const {
+  return scheme_.verify(sig, coin_message(view));
+}
+
+ReplicaId CommonCoin::leader_from(const ThresholdSig& sig) const {
+  // The combined value is s·H("coin"||v): hash it once more so the leader
+  // index is uniform even though field values cluster below 2^61.
+  Encoder enc;
+  enc.u64(sig.value);
+  const Digest d = sha256_tagged("repro/coin-leader", enc.result());
+  return static_cast<ReplicaId>(digest_prefix_u64(d) % n_);
+}
+
+}  // namespace repro::crypto

@@ -1,0 +1,202 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace repro::harness {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kDiemBft: return "DiemBFT";
+    case Protocol::kFallback3: return "Fallback-3chain";
+    case Protocol::kFallback3Adopt: return "Fallback-3chain+adopt";
+    case Protocol::kFallback2: return "Fallback-2chain";
+    case Protocol::kAlwaysFallback: return "AlwaysFallback(ACE-style)";
+  }
+  return "?";
+}
+
+Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
+  crypto_ = crypto::CryptoSystem::deal(QuorumParams::for_n(cfg_.n), cfg_.seed ^ 0xc0ffee);
+  const auto& crypto = crypto_;
+  net_ = std::make_unique<net::Network>(sim_, cfg_.n, build_delay_model(),
+                                        Rng(cfg_.seed ^ 0x6e6574));
+
+  replicas_.reserve(cfg_.n);
+  for (ReplicaId id = 0; id < cfg_.n; ++id) {
+    core::ReplicaContext ctx;
+    ctx.sim = &sim_;
+    ctx.net = net_.get();
+    ctx.crypto = crypto;
+    ctx.id = id;
+    ctx.config = cfg_.pcfg;
+    if (auto it = cfg_.faults.find(id); it != cfg_.faults.end()) {
+      ctx.config.fault.kind = it->second;
+    }
+    ctx.seed = cfg_.seed * 1'000'003 + id;
+    ctx.on_block_born = [this](const smr::BlockId& bid, SimTime t) {
+      births_.emplace(bid, t);
+    };
+    if (cfg_.payload_factory) {
+      ctx.payload_source = [this, id]() { return cfg_.payload_factory(id); };
+    }
+    if (cfg_.enable_wal) {
+      wals_.push_back(std::make_unique<storage::MemWal>());
+      ctx.wal = wals_.back().get();
+    }
+    ctxs_.push_back(ctx);
+    replicas_.push_back(build_replica_with_ctx(ctx));
+    net_->register_handler(id, [this, id](ReplicaId from, const Bytes& payload) {
+      replicas_[id]->on_message(from, payload);
+    });
+  }
+
+  if (attack_model_ != nullptr) {
+    // The adaptive adversary starves the leaders of every round an honest
+    // replica is currently in (replicas can straddle a rotation boundary).
+    attack_model_->set_targets_fn([this]() {
+      std::set<ReplicaId> targets;
+      for (ReplicaId id = 0; id < cfg_.n; ++id) {
+        if (!is_honest(id)) continue;
+        targets.insert(core::round_leader(replicas_[id]->current_round(), cfg_.n,
+                                          cfg_.pcfg.leader_rotation));
+      }
+      return targets;
+    });
+  }
+}
+
+std::unique_ptr<core::IReplica> Experiment::build_replica_with_ctx(
+    const core::ReplicaContext& ctx) {
+  core::FallbackParams fb;
+  switch (cfg_.protocol) {
+    case Protocol::kDiemBft:
+      return std::make_unique<core::DiemBftReplica>(ctx);
+    case Protocol::kFallback3:
+      fb.chain_len = 3;
+      break;
+    case Protocol::kFallback3Adopt:
+      fb.chain_len = 3;
+      fb.adoption = true;
+      break;
+    case Protocol::kFallback2:
+      fb.chain_len = 2;
+      break;
+    case Protocol::kAlwaysFallback:
+      fb.chain_len = 3;
+      fb.always_fallback = true;
+      break;
+  }
+  return std::make_unique<core::FallbackReplica>(ctx, fb);
+}
+
+std::unique_ptr<net::DelayModel> Experiment::build_delay_model() {
+  if (cfg_.make_delay) return cfg_.make_delay();
+  switch (cfg_.scenario) {
+    case NetScenario::kSynchronous:
+      return std::make_unique<net::SynchronousModel>(cfg_.net_min_delay, cfg_.net_delta);
+    case NetScenario::kAsynchronous:
+      return std::make_unique<net::AsynchronousModel>(cfg_.async_mean, cfg_.async_max);
+    case NetScenario::kPartialSynchrony:
+      return std::make_unique<net::PartialSynchronyModel>(
+          cfg_.gst, cfg_.net_min_delay, cfg_.net_delta,
+          std::make_unique<net::AsynchronousModel>(cfg_.async_mean, cfg_.async_max));
+    case NetScenario::kLeaderAttack: {
+      auto model = std::make_unique<net::AdaptiveLeaderAttackModel>(
+          cfg_.net_min_delay, cfg_.net_delta, cfg_.attack_delay);
+      attack_model_ = model.get();
+      return model;
+    }
+  }
+  return nullptr;
+}
+
+void Experiment::start() {
+  for (auto& r : replicas_) r->start();
+}
+
+void Experiment::restart_replica(ReplicaId id) {
+  REPRO_ASSERT(id < replicas_.size());
+  REPRO_ASSERT_MSG(cfg_.enable_wal, "restart_replica requires enable_wal");
+  // The old instance cannot be destroyed immediately: pending simulator
+  // callbacks (timers) capture its `this`. Halt it — every entry point
+  // becomes a no-op — and park it until the Experiment dies. Network
+  // deliveries route through replicas_[id], so they reach the new
+  // instance; the WAL-recovered replica rejoins from its durable state.
+  replicas_[id]->halt();
+  parked_.push_back(std::move(replicas_[id]));
+  replicas_[id] = build_replica_with_ctx(ctxs_[id]);
+  replicas_[id]->start();
+}
+
+bool Experiment::is_honest(ReplicaId id) const {
+  auto it = cfg_.faults.find(id);
+  return it == cfg_.faults.end() || it->second == core::FaultKind::kNone;
+}
+
+std::size_t Experiment::min_honest_commits() const {
+  std::size_t m = SIZE_MAX;
+  for (ReplicaId id = 0; id < cfg_.n; ++id) {
+    if (is_honest(id)) m = std::min(m, replicas_[id]->ledger().size());
+  }
+  return m == SIZE_MAX ? 0 : m;
+}
+
+std::size_t Experiment::max_honest_commits() const {
+  std::size_t m = 0;
+  for (ReplicaId id = 0; id < cfg_.n; ++id) {
+    if (is_honest(id)) m = std::max(m, replicas_[id]->ledger().size());
+  }
+  return m;
+}
+
+bool Experiment::run_until_commits(std::size_t target, SimTime max_time) {
+  // Check the predicate periodically rather than after every event.
+  while (sim_.now() <= max_time) {
+    if (min_honest_commits() >= target) return true;
+    if (sim_.pending() == 0) break;
+    for (int i = 0; i < 256 && sim_.now() <= max_time; ++i) {
+      if (!sim_.step()) break;
+    }
+  }
+  return min_honest_commits() >= target;
+}
+
+void Experiment::run_for(SimTime duration) { sim_.run_until(sim_.now() + duration); }
+
+SafetyReport Experiment::check_safety() const {
+  SafetyReport report;
+  // Pairwise prefix consistency of honest committed sequences.
+  for (ReplicaId a = 0; a < cfg_.n; ++a) {
+    if (!is_honest(a)) continue;
+    for (ReplicaId b = a + 1; b < cfg_.n; ++b) {
+      if (!is_honest(b)) continue;
+      const auto& ra = replicas_[a]->ledger().records();
+      const auto& rb = replicas_[b]->ledger().records();
+      const std::size_t common = std::min(ra.size(), rb.size());
+      for (std::size_t i = 0; i < common; ++i) {
+        if (ra[i].id != rb[i].id) {
+          report.ok = false;
+          report.detail = "ledger divergence between replicas " + std::to_string(a) +
+                          " and " + std::to_string(b) + " at position " + std::to_string(i);
+          return report;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<SimTime> Experiment::commit_latencies(ReplicaId id) const {
+  std::vector<SimTime> out;
+  for (const auto& rec : replicas_[id]->ledger().records()) {
+    auto it = births_.find(rec.id);
+    if (it != births_.end() && rec.commit_time >= it->second) {
+      out.push_back(rec.commit_time - it->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace repro::harness

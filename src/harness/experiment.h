@@ -1,0 +1,135 @@
+// Experiment harness: builds an n-replica system over a chosen network
+// model, runs it to a commit target or time horizon, and checks the
+// paper's two SMR guarantees — Safety (honest ledgers prefix-consistent)
+// and Liveness (honest replicas keep committing).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/diembft.h"
+#include "core/fallback.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace repro::harness {
+
+enum class Protocol {
+  kDiemBft,         ///< Figure 1 baseline
+  kFallback3,       ///< Figure 2 (3-chain)
+  kFallback3Adopt,  ///< Figure 2 + §3 chain-adoption optimization
+  kFallback2,       ///< Figure 4 (2-chain)
+  kAlwaysFallback,  ///< ACE/VABA-style always-async baseline
+};
+
+const char* protocol_name(Protocol p);
+
+/// Network scenarios used across experiments.
+enum class NetScenario {
+  kSynchronous,       ///< uniform [min, Δ]
+  kAsynchronous,      ///< heavy exponential delays >> timeout (stochastic)
+  kPartialSynchrony,  ///< async until GST, then synchronous
+  kLeaderAttack,      ///< adaptive adversary starving current leaders
+};
+
+struct ExperimentConfig {
+  std::uint32_t n = 4;
+  Protocol protocol = Protocol::kFallback3;
+  NetScenario scenario = NetScenario::kSynchronous;
+  std::uint64_t seed = 1;
+  core::ProtocolConfig pcfg;
+
+  // Network timing (microseconds).
+  SimTime net_min_delay = 1'000;
+  SimTime net_delta = 50'000;          ///< Δ under synchrony
+  SimTime async_mean = 2'000'000;      ///< mean delay under asynchrony
+  SimTime async_max = 8'000'000;       ///< delay cap (reliability)
+  SimTime gst = 10'000'000;            ///< GST for partial synchrony
+  SimTime attack_delay = 20'000'000;   ///< leader-attack deferral
+
+  /// Custom delay model factory; overrides `scenario` when set.
+  std::function<std::unique_ptr<net::DelayModel>()> make_delay;
+
+  /// Faults: replica id -> fault. At most f replicas should be faulty.
+  std::unordered_map<ReplicaId, core::FaultKind> faults;
+
+  /// Optional application payload source, called as payload_factory(id)
+  /// each time replica `id` proposes a block (see examples/kv_store.cpp).
+  std::function<Bytes(ReplicaId)> payload_factory;
+
+  /// Give every replica a write-ahead log (in-memory, owned by the
+  /// Experiment) so restart_replica() can crash-recover it.
+  bool enable_wal = false;
+};
+
+/// Result of the pairwise ledger prefix-consistency check.
+struct SafetyReport {
+  bool ok = true;
+  std::string detail;  ///< first violation found, if any
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig cfg);
+
+  /// Starts all replicas (round 1 begins).
+  void start();
+
+  /// Simulate a crash + restart of one replica: the old instance (and all
+  /// its in-memory state) is destroyed and a fresh one is built, which
+  /// recovers its vote state from the WAL (requires enable_wal) and
+  /// catches up on the chain through block retrieval. In-flight messages
+  /// addressed to it are delivered to the new instance.
+  void restart_replica(ReplicaId id);
+
+  /// Run until every honest replica has committed >= target blocks, the
+  /// virtual clock passes `max_time`, or the event queue drains. Returns
+  /// true iff the commit target was reached.
+  bool run_until_commits(std::size_t target, SimTime max_time);
+
+  /// Run for a fixed duration of virtual time.
+  void run_for(SimTime duration);
+
+  // ---- metrics / checks ------------------------------------------------
+  /// Minimum committed-block count across honest replicas ("decisions").
+  std::size_t min_honest_commits() const;
+  std::size_t max_honest_commits() const;
+
+  SafetyReport check_safety() const;
+
+  /// Commit latency samples (commit_time - block birth_time) observed at
+  /// the given replica, in microseconds.
+  std::vector<SimTime> commit_latencies(ReplicaId id) const;
+
+  bool is_honest(ReplicaId id) const;
+
+  sim::Simulation& sim() { return sim_; }
+  net::Network& network() { return *net_; }
+  const crypto::CryptoSystem& crypto_sys() const { return *crypto_; }
+  core::IReplica& replica(ReplicaId id) { return *replicas_[id]; }
+  const core::IReplica& replica(ReplicaId id) const { return *replicas_[id]; }
+  std::uint32_t n() const { return cfg_.n; }
+  const ExperimentConfig& config() const { return cfg_; }
+
+ private:
+  std::unique_ptr<net::DelayModel> build_delay_model();
+  std::unique_ptr<core::IReplica> build_replica_with_ctx(const core::ReplicaContext& ctx);
+
+  ExperimentConfig cfg_;
+  sim::Simulation sim_;
+  std::shared_ptr<const crypto::CryptoSystem> crypto_;
+  std::unique_ptr<net::Network> net_;
+  net::AdaptiveLeaderAttackModel* attack_model_ = nullptr;  ///< owned by net_
+  std::vector<std::unique_ptr<core::IReplica>> replicas_;
+  std::vector<core::ReplicaContext> ctxs_;
+  std::vector<std::unique_ptr<storage::MemWal>> wals_;
+  /// Halted pre-restart instances (kept alive for their queued timers).
+  std::vector<std::unique_ptr<core::IReplica>> parked_;
+  /// Block id -> creation time (filled by the replicas' birth hook).
+  std::unordered_map<smr::BlockId, SimTime, smr::BlockIdHash> births_;
+};
+
+}  // namespace repro::harness

@@ -1,0 +1,38 @@
+// Global protocol invariants — the paper's lemmas as machine-checked
+// properties over the *union* of all honest replicas' observed state.
+//
+// The per-run safety check (ledger prefix consistency) catches end-to-end
+// divergence; these checks catch the intermediate structural properties
+// the proofs rely on, so a bug that hasn't yet produced divergent commits
+// still fails loudly:
+//   Lemma 1 — at most one certified block per (view, round) for regular
+//             QCs, and per (view, round) among endorsed f-QCs;
+//   Lemma 2 — every certified chain edge has consecutive rounds and
+//             nondecreasing views, and (same view) no f-block parents a
+//             regular block;
+//   Lemma 3 — endorsed f-blocks of one view form a single chain;
+//   commit  — every committed block is certified or endorsed somewhere.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace repro::harness {
+
+struct InvariantReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string v) {
+    ok = false;
+    violations.push_back(std::move(v));
+  }
+};
+
+/// Runs all structural checks against every honest replica's block store
+/// and certificate log (plus coin-QCs reconstructible from the stores).
+InvariantReport check_invariants(const Experiment& exp);
+
+}  // namespace repro::harness

@@ -1,0 +1,228 @@
+// Network delay models — where the adversary lives.
+//
+// The paper's channels are reliable and authenticated, with delays chosen
+// by the adversary: bounded by Δ under synchrony, unbounded-but-finite
+// under asynchrony, and bounded after GST under partial synchrony. Each
+// model below decides a delivery delay per message; none may drop
+// messages (reliability), so even the strongest adversary only defers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace repro::net {
+
+/// Context handed to a delay model for one message.
+struct MessageContext {
+  ReplicaId from = 0;
+  ReplicaId to = 0;
+  std::size_t size_bytes = 0;
+  SimTime now = 0;
+};
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Delivery delay (microseconds) for this message.
+  virtual SimTime delay(const MessageContext& ctx, Rng& rng) = 0;
+};
+
+/// Synchrony: delays uniform in [min_delay, delta]. All honest-to-honest
+/// messages arrive within Δ.
+class SynchronousModel final : public DelayModel {
+ public:
+  SynchronousModel(SimTime min_delay, SimTime delta) : min_(min_delay), delta_(delta) {}
+
+  SimTime delay(const MessageContext&, Rng& rng) override {
+    return rng.uniform_range(min_, delta_);
+  }
+
+ private:
+  SimTime min_;
+  SimTime delta_;
+};
+
+/// Full asynchrony: heavy exponential delays with the given mean, capped
+/// at `max_delay` (delays must be finite — reliability). With the mean a
+/// small multiple of the protocol timeout, no leader ever assembles a
+/// quorum in time, which is exactly the adversary that kills DiemBFT's
+/// liveness while our fallback still terminates.
+class AsynchronousModel final : public DelayModel {
+ public:
+  AsynchronousModel(SimTime mean, SimTime max_delay) : mean_(mean), max_(max_delay) {}
+
+  SimTime delay(const MessageContext&, Rng& rng) override {
+    const double d = rng.exponential(static_cast<double>(mean_));
+    return std::min<SimTime>(static_cast<SimTime>(d), max_);
+  }
+
+ private:
+  SimTime mean_;
+  SimTime max_;
+};
+
+/// Partial synchrony: before GST behave as `pre` (typically
+/// AsynchronousModel), after GST uniform in [min_delay, delta]. A message
+/// sent before GST is additionally clamped to land by GST + delta
+/// (the classic "all in-flight messages arrive by GST + Δ" reading).
+class PartialSynchronyModel final : public DelayModel {
+ public:
+  PartialSynchronyModel(SimTime gst, SimTime min_delay, SimTime delta,
+                        std::unique_ptr<DelayModel> pre)
+      : gst_(gst), min_(min_delay), delta_(delta), pre_(std::move(pre)) {}
+
+  SimTime delay(const MessageContext& ctx, Rng& rng) override {
+    if (ctx.now >= gst_) return rng.uniform_range(min_, delta_);
+    const SimTime raw = pre_->delay(ctx, rng);
+    const SimTime latest = gst_ + delta_ - ctx.now;  // arrive by GST + Δ
+    return std::min(raw, latest);
+  }
+
+ private:
+  SimTime gst_;
+  SimTime min_;
+  SimTime delta_;
+  std::unique_ptr<DelayModel> pre_;
+};
+
+/// Targeted adversary: messages to or from replicas in the target set are
+/// deferred by `attack_delay`; everything else is synchronous. The
+/// classic "starve the leader" attack — the harness updates the target
+/// set as the leader schedule progresses.
+class TargetedDelayModel final : public DelayModel {
+ public:
+  TargetedDelayModel(SimTime min_delay, SimTime delta, SimTime attack_delay)
+      : min_(min_delay), delta_(delta), attack_(attack_delay) {}
+
+  void set_targets(std::set<ReplicaId> targets) { targets_ = std::move(targets); }
+  const std::set<ReplicaId>& targets() const { return targets_; }
+
+  SimTime delay(const MessageContext& ctx, Rng& rng) override {
+    if (targets_.count(ctx.from) != 0 || targets_.count(ctx.to) != 0) {
+      return attack_ + rng.uniform_range(min_, delta_);
+    }
+    return rng.uniform_range(min_, delta_);
+  }
+
+ private:
+  SimTime min_;
+  SimTime delta_;
+  SimTime attack_;
+  std::set<ReplicaId> targets_;
+};
+
+/// Adaptive leader-targeting adversary — the strongest asynchronous
+/// scheduler we model, and the one that realizes the paper's "no liveness
+/// under asynchrony" for DiemBFT: it observes the protocol state (an
+/// asynchronous adversary sees everything) and defers every message to or
+/// from the *current* leaders long enough that no quorum ever assembles
+/// for them, while all other traffic flows synchronously. Leaders rotate,
+/// the adversary re-targets. Against the asynchronous fallback this
+/// adversary is powerless: in a fallback every replica drives a chain and
+/// the coin elects the leader only retroactively.
+class AdaptiveLeaderAttackModel final : public DelayModel {
+ public:
+  using TargetsFn = std::function<std::set<ReplicaId>()>;
+
+  AdaptiveLeaderAttackModel(SimTime min_delay, SimTime delta, SimTime attack_delay)
+      : min_(min_delay), delta_(delta), attack_(attack_delay) {}
+
+  /// The harness binds this to "leaders of the rounds honest replicas are
+  /// currently in". Without a binding the model degrades to synchrony.
+  void set_targets_fn(TargetsFn fn) { targets_fn_ = std::move(fn); }
+
+  SimTime delay(const MessageContext& ctx, Rng& rng) override {
+    if (targets_fn_) {
+      const std::set<ReplicaId> targets = targets_fn_();
+      if (targets.count(ctx.from) != 0 || targets.count(ctx.to) != 0) {
+        return attack_ + rng.uniform_range(min_, delta_);
+      }
+    }
+    return rng.uniform_range(min_, delta_);
+  }
+
+ private:
+  SimTime min_;
+  SimTime delta_;
+  SimTime attack_;
+  TargetsFn targets_fn_;
+};
+
+/// Piecewise timeline: phases [start_i, start_{i+1}) each with their own
+/// inner model. Used for the liveness-timeline experiment (sync → async
+/// window → sync again).
+class SwitchingModel final : public DelayModel {
+ public:
+  struct Phase {
+    SimTime start;
+    std::unique_ptr<DelayModel> model;
+  };
+
+  /// Phases must be sorted by start; first phase should start at 0.
+  explicit SwitchingModel(std::vector<Phase> phases) : phases_(std::move(phases)) {}
+
+  SimTime delay(const MessageContext& ctx, Rng& rng) override {
+    DelayModel* active = phases_.front().model.get();
+    for (const auto& p : phases_) {
+      if (ctx.now >= p.start) active = p.model.get();
+    }
+    return active->delay(ctx, rng);
+  }
+
+ private:
+  std::vector<Phase> phases_;
+};
+
+/// Network partition: the replica set is split into groups; intra-group
+/// traffic is synchronous, cross-group traffic is deferred until the
+/// partition heals at `heal_time` (channels stay reliable — messages are
+/// delayed, never dropped, as the paper's model requires). A partition
+/// with no group holding 2f+1 replicas halts any quorum protocol until
+/// the heal; the interesting property is clean recovery afterwards.
+class PartitionModel final : public DelayModel {
+ public:
+  PartitionModel(std::vector<std::vector<ReplicaId>> groups, SimTime heal_time,
+                 SimTime min_delay, SimTime delta)
+      : heal_(heal_time), min_(min_delay), delta_(delta) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (ReplicaId id : groups[g]) group_of_[id] = g;
+    }
+  }
+
+  SimTime delay(const MessageContext& ctx, Rng& rng) override {
+    const SimTime base = rng.uniform_range(min_, delta_);
+    if (ctx.now >= heal_) return base;
+    auto a = group_of_.find(ctx.from);
+    auto b = group_of_.find(ctx.to);
+    const bool same = a != group_of_.end() && b != group_of_.end() && a->second == b->second;
+    if (same) return base;
+    return (heal_ - ctx.now) + base;  // parked until the heal
+  }
+
+ private:
+  SimTime heal_;
+  SimTime min_;
+  SimTime delta_;
+  std::unordered_map<ReplicaId, std::size_t> group_of_;
+};
+
+/// Fixed-delay model for unit tests (fully predictable schedules).
+class FixedDelayModel final : public DelayModel {
+ public:
+  explicit FixedDelayModel(SimTime d) : d_(d) {}
+  SimTime delay(const MessageContext&, Rng&) override { return d_; }
+
+ private:
+  SimTime d_;
+};
+
+}  // namespace repro::net

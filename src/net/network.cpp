@@ -1,0 +1,51 @@
+#include "net/network.h"
+
+#include "common/assert.h"
+
+namespace repro::net {
+
+Network::Network(sim::Simulation& sim, std::uint32_t n, std::unique_ptr<DelayModel> model,
+                 Rng rng)
+    : sim_(sim), model_(std::move(model)), rng_(std::move(rng)), handlers_(n) {
+  REPRO_ASSERT(model_ != nullptr);
+}
+
+void Network::register_handler(ReplicaId id, Handler handler) {
+  REPRO_ASSERT(id < handlers_.size());
+  handlers_[id] = std::move(handler);
+}
+
+void Network::deliver_after(SimTime delay, ReplicaId from, ReplicaId to, Bytes payload) {
+  sim_.schedule_after(delay, [this, from, to, payload = std::move(payload)]() {
+    ++delivered_;
+    if (handlers_[to]) handlers_[to](from, payload);
+  });
+}
+
+void Network::send(ReplicaId from, ReplicaId to, Bytes payload) {
+  REPRO_ASSERT(from < handlers_.size() && to < handlers_.size());
+  if (from == to) {
+    deliver_after(0, from, to, std::move(payload));
+    return;
+  }
+  stats_.messages += 1;
+  stats_.bytes += payload.size();
+  if (!payload.empty()) {
+    const std::uint8_t tag = payload[0];
+    if (tag < stats_.messages_by_type.size()) {
+      stats_.messages_by_type[tag] += 1;
+      stats_.bytes_by_type[tag] += payload.size();
+    }
+  }
+  const MessageContext ctx{from, to, payload.size(), sim_.now()};
+  const SimTime d = model_->delay(ctx, rng_);
+  deliver_after(d, from, to, std::move(payload));
+}
+
+void Network::multicast(ReplicaId from, const Bytes& payload) {
+  for (ReplicaId to = 0; to < handlers_.size(); ++to) {
+    send(from, to, payload);
+  }
+}
+
+}  // namespace repro::net

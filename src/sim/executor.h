@@ -1,0 +1,38 @@
+// Executor abstraction: the protocol code's only notion of time.
+//
+// Replicas schedule timers and read a clock through this interface. The
+// discrete-event Simulation implements it for deterministic experiments;
+// transport/realtime.h implements it over the monotonic wall clock so the
+// very same replica code runs in a real deployment (see transport/).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+
+namespace repro::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class IExecutor {
+ public:
+  virtual ~IExecutor() = default;
+
+  /// Current time in microseconds (virtual or monotonic wall clock).
+  virtual SimTime now() const = 0;
+
+  /// Schedule a callback at absolute time `t` (>= now). Returns an id
+  /// usable with cancel().
+  virtual EventId schedule_at(SimTime t, std::function<void()> cb) = 0;
+
+  /// Cancel a pending event; no-op for fired/unknown ids.
+  virtual void cancel(EventId id) = 0;
+
+  EventId schedule_after(SimTime delay, std::function<void()> cb) {
+    return schedule_at(now() + delay, std::move(cb));
+  }
+};
+
+}  // namespace repro::sim

@@ -1,0 +1,67 @@
+#include "sim/simulation.h"
+
+namespace repro::sim {
+
+EventId Simulation::schedule_at(SimTime t, Callback cb) {
+  REPRO_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  const std::uint64_t seq = next_seq_++;
+  const EventId id = seq;  // seq doubles as the id (unique, nonzero)
+  queue_.push(Entry{t, seq, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+void Simulation::cancel(EventId id) {
+  if (callbacks_.find(id) == callbacks_.end()) return;
+  cancelled_.insert(id);
+}
+
+bool Simulation::fire_next() {
+  while (!queue_.empty()) {
+    const Entry e = queue_.top();
+    queue_.pop();
+    auto cancelled_it = cancelled_.find(e.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      callbacks_.erase(e.id);
+      continue;
+    }
+    auto cb_it = callbacks_.find(e.id);
+    REPRO_ASSERT(cb_it != callbacks_.end());
+    Callback cb = std::move(cb_it->second);
+    callbacks_.erase(cb_it);
+    now_ = e.time;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+bool Simulation::step() { return fire_next(); }
+
+std::size_t Simulation::run_until(SimTime deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    // Skip over cancelled heads without advancing time.
+    const Entry e = queue_.top();
+    if (cancelled_.count(e.id) != 0) {
+      queue_.pop();
+      cancelled_.erase(e.id);
+      callbacks_.erase(e.id);
+      continue;
+    }
+    if (e.time > deadline) break;
+    if (fire_next()) ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+std::size_t Simulation::run(std::size_t max_events) {
+  std::size_t count = 0;
+  while (count < max_events && fire_next()) ++count;
+  return count;
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,76 @@
+// Deterministic discrete-event simulation core.
+//
+// Every run of an experiment is a pure function of (config, seed): the
+// event queue orders by (virtual time, insertion sequence), so ties are
+// resolved deterministically, and nothing in the stack reads wall-clock
+// time. Replicas, timers and the network all schedule through this one
+// queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+#include "sim/executor.h"
+
+namespace repro::sim {
+
+class Simulation final : public IExecutor {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const override { return now_; }
+
+  /// Schedule a callback at absolute virtual time `t` (>= now).
+  EventId schedule_at(SimTime t, Callback cb) override;
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is
+  /// a no-op (timers race with their own firing in protocol code).
+  void cancel(EventId id) override;
+
+  /// Run the next pending event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run all events with time <= deadline; afterwards now() == deadline
+  /// (even if the queue drained early). Returns events executed.
+  std::size_t run_until(SimTime deadline);
+
+  /// Run until the queue drains or `max_events` executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  bool idle() const { return queue_.size() == cancelled_.size(); }
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  bool fire_next();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace repro::sim

@@ -1,0 +1,53 @@
+// Blocks: the paper's regular blocks B = [id, qc, r, v, txn] and
+// fallback-blocks B̄ = [B, height, proposer].
+//
+// One struct covers both: height == 0 means regular block, height in
+// {1,2,3} means f-block at that position in its proposer's fallback-chain.
+// The id is the SHA-256 digest of every other field, as in the paper
+// (id = H(qc, r, v, txn) extended with height/proposer for f-blocks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/codec.h"
+#include "common/types.h"
+#include "smr/certificates.h"
+
+namespace repro::smr {
+
+struct Block {
+  BlockId id{};
+  Certificate parent;  ///< QC (regular / height-1 f-block) or f-QC (height 2-3)
+  Round round = 0;
+  View view = 0;
+  FallbackHeight height = 0;  ///< 0 = regular block; 1..3 = fallback-block
+  ReplicaId proposer = 0;
+  Bytes payload;  ///< transaction batch (opaque bytes)
+
+  bool is_fallback() const { return height > 0; }
+  bool is_genesis() const { return id == genesis_id(); }
+
+  bool operator==(const Block&) const = default;
+
+  /// Recomputes what the id must be for the other fields.
+  static BlockId compute_id(const Certificate& parent, Round round, View view,
+                            FallbackHeight height, ReplicaId proposer, BytesView payload);
+
+  /// Builds a block with a freshly computed id.
+  static Block make(const Certificate& parent, Round round, View view, FallbackHeight height,
+                    ReplicaId proposer, Bytes payload);
+
+  /// The unique genesis block (round 0, view 0, parented on itself).
+  static const Block& genesis();
+
+  /// True iff id matches the other fields (first validity check on any
+  /// received block).
+  bool id_consistent() const;
+
+  void encode(Encoder& enc) const;
+  static std::optional<Block> decode(Decoder& dec);
+};
+
+}  // namespace repro::smr

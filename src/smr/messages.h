@@ -1,0 +1,146 @@
+// Wire messages for all protocol variants.
+//
+// Every message serializes as: 1 type-tag byte, then the body, then (for
+// ⟨m⟩_i-style authenticated messages) the sender's 32-byte signature over
+// tag||body. Votes and coin shares need no outer signature: the threshold
+// share itself authenticates the signer, exactly as in the paper where a
+// vote *is* a threshold signature share.
+//
+// Messages that embed a certificate which might be an *endorsed* f-QC
+// (timeouts carrying qc_high, proposals carrying parents) also carry the
+// coin-QCs that prove the endorsement ("As cryptographic evidence of
+// endorsement, the first block in a new view can additionally include the
+// coin-QC of the previous view" — paper §3). Receivers install these into
+// their coin table before judging ranks.
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "crypto/dealer.h"
+#include "smr/block.h"
+#include "smr/certificates.h"
+
+namespace repro::smr {
+
+enum class MsgType : std::uint8_t {
+  kProposal = 1,     // steady state: leader's regular block
+  kVote = 2,         // steady state: share on a regular block -> next leader
+  kDiemTimeout = 3,  // DiemBFT pacemaker: ⟨{r}_i, qc_high⟩_i multicast
+  kDiemTc = 4,       // DiemBFT pacemaker: TC forwarded to the new leader
+  kFbTimeout = 5,    // fallback: ⟨{v}_i, qc_high⟩_i multicast
+  kFbProposal = 6,   // fallback: f-block (height-1 carries the f-TC)
+  kFbVote = 7,       // fallback: share on an f-block -> chain owner
+  kFbQc = 8,         // fallback: completed top-height f-QC multicast
+  kCoinShare = 9,    // leader election: coin share multicast
+  kCoinQc = 10,      // leader election: combined coin-QC multicast
+  kBlockRequest = 11,   // block retrieval: fetch a missing block by id
+  kBlockResponse = 12,  // block retrieval: the requested block
+};
+
+struct ProposalMsg {
+  Block block;
+  std::optional<TimeoutCert> tc;  ///< DiemBFT: TC that justified entering this round
+  std::vector<CoinQC> coins;      ///< endorsement evidence for embedded certs
+  crypto::Signature sig{};
+};
+
+struct VoteMsg {
+  BlockId block_id{};
+  Round round = 0;
+  View view = 0;
+  crypto::PartialSig share;  ///< {id, r, v}_i — signer identified inside
+};
+
+struct DiemTimeoutMsg {
+  Round round = 0;
+  crypto::PartialSig round_share;  ///< {r}_i
+  Certificate qc_high;
+  crypto::Signature sig{};
+};
+
+struct DiemTcMsg {
+  TimeoutCert tc;
+};
+
+struct FbTimeoutMsg {
+  View view = 0;
+  crypto::PartialSig view_share;  ///< {v}_i
+  Certificate qc_high;
+  std::vector<CoinQC> coins;
+  crypto::Signature sig{};
+};
+
+struct FbProposalMsg {
+  Block block;                    ///< an f-block (height 1..3)
+  std::optional<FallbackTC> ftc;  ///< required at height 1 (paper: "j also sends tc̄")
+  std::vector<CoinQC> coins;
+  crypto::Signature sig{};
+};
+
+struct FbVoteMsg {
+  BlockId block_id{};
+  Round round = 0;
+  View view = 0;
+  FallbackHeight height = 0;
+  ReplicaId chain_owner = 0;  ///< the j in B̄_{h,j}
+  crypto::PartialSig share;   ///< {id, r, v, h, j}_i
+};
+
+struct FbQcMsg {
+  Certificate fqc;
+  crypto::Signature sig{};  ///< 2-chain variant counts distinct signers of these
+};
+
+struct CoinShareMsg {
+  View view = 0;
+  crypto::PartialSig share;
+};
+
+struct CoinQcMsg {
+  CoinQC qc;
+};
+
+/// DiemBFT-style block retrieval: certificates can reference blocks a
+/// replica never received (e.g. qc_high adopted from a timeout message);
+/// the replica fetches them from whoever showed it the certificate. The
+/// block bodies are self-authenticating via their ids. Requests are
+/// range-based — "this block plus up to `ancestors` of its ancestors" —
+/// so a replica recovering from a crash backfills a long chain in a few
+/// round trips instead of one block per round trip.
+struct BlockRequestMsg {
+  BlockId block_id{};
+  std::uint32_t ancestors = 0;  ///< additionally ship up to this many parents
+};
+
+struct BlockResponseMsg {
+  /// The requested block first, then ancestors (newest to oldest).
+  std::vector<Block> blocks;
+};
+
+/// Upper bound on blocks per response (and on `ancestors` honored).
+inline constexpr std::uint32_t kMaxBlocksPerResponse = 128;
+
+using Message =
+    std::variant<ProposalMsg, VoteMsg, DiemTimeoutMsg, DiemTcMsg, FbTimeoutMsg, FbProposalMsg,
+                 FbVoteMsg, FbQcMsg, CoinShareMsg, CoinQcMsg, BlockRequestMsg, BlockResponseMsg>;
+
+MsgType message_type(const Message& msg);
+
+/// Serialize (without touching any signature field — sign first).
+Bytes encode_message(const Message& msg);
+
+/// Parse; nullopt on malformed input (malformed wire data must never
+/// crash a replica).
+std::optional<Message> decode_message(BytesView data);
+
+/// Sign / verify the ⟨m⟩_i-authenticated messages in place. For message
+/// types without an outer signature these are no-ops returning true.
+void sign_message(const crypto::CryptoSystem& crypto, ReplicaId signer, Message& msg);
+bool verify_message_signature(const crypto::CryptoSystem& crypto, ReplicaId sender,
+                              const Message& msg);
+
+}  // namespace repro::smr

@@ -1,0 +1,27 @@
+// Ranks of blocks / certificates.
+//
+// Paper §2: "QCs or blocks are ranked first by the view number and then by
+// the round number", and §3: "An endorsed f-QC rank[s] higher than any QC
+// ... with the same view number". So the full order is lexicographic on
+// (view, endorsed, round). For the original DiemBFT (view always 0, no
+// endorsement) this degenerates to ranking by round, as in the paper.
+#pragma once
+
+#include <compare>
+
+#include "common/types.h"
+
+namespace repro::smr {
+
+struct Rank {
+  View view = 0;
+  bool endorsed = false;
+  Round round = 0;
+
+  // Lexicographic in declaration order: view, then endorsed, then round.
+  friend constexpr auto operator<=>(const Rank&, const Rank&) = default;
+};
+
+constexpr Rank max(Rank a, Rank b) { return a < b ? b : a; }
+
+}  // namespace repro::smr

@@ -1,0 +1,59 @@
+#include "storage/wal.h"
+
+#include <cstdio>
+
+#include "common/assert.h"
+#include "common/codec.h"
+#include "crypto/sha256.h"
+
+namespace repro::storage {
+namespace {
+
+std::uint32_t checksum(BytesView body) {
+  const crypto::Digest d = crypto::sha256_tagged("repro/wal", body);
+  return static_cast<std::uint32_t>(crypto::digest_prefix_u64(d));
+}
+
+}  // namespace
+
+FileWal::FileWal(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "ab");
+  REPRO_ASSERT_MSG(file_ != nullptr, "cannot open WAL file for append");
+}
+
+FileWal::~FileWal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileWal::append(BytesView record) {
+  Encoder enc;
+  enc.u32(static_cast<std::uint32_t>(record.size()));
+  enc.u32(checksum(record));
+  enc.raw(record);
+  const Bytes& framed = enc.result();
+  const std::size_t written = std::fwrite(framed.data(), 1, framed.size(), file_);
+  REPRO_ASSERT_MSG(written == framed.size(), "short WAL write");
+  std::fflush(file_);  // stands in for fsync in this reproduction
+}
+
+std::vector<Bytes> FileWal::replay() const {
+  std::vector<Bytes> records;
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return records;
+  for (;;) {
+    std::uint8_t header[8];
+    if (std::fread(header, 1, 8, f) != 8) break;  // clean end or torn header
+    Decoder dec(BytesView(header, 8));
+    const std::uint32_t len = *dec.u32();
+    const std::uint32_t sum = *dec.u32();
+    if (len > (1u << 24)) break;  // implausible length: corrupted
+    Bytes body(len);
+    if (len != 0 && std::fread(body.data(), 1, len, f) != len) break;  // torn body
+    if (checksum(body) != sum) break;  // corrupted record
+    records.push_back(std::move(body));
+  }
+  std::fclose(f);
+  return records;
+}
+
+}  // namespace repro::storage

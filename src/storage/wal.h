@@ -1,0 +1,79 @@
+// Write-ahead logging for crash recovery.
+//
+// A BFT replica must never vote twice for conflicting blocks — even
+// across a crash and restart. Production systems therefore make the vote
+// state (r_vote, rank_lock, view, per-proposer fallback vote counters,
+// qc_high) durable *before* each vote leaves the machine. This module
+// provides the record log: an interface, an in-memory backend (used by
+// the simulation's restart tests), and a file backend with per-record
+// checksums and torn-tail tolerance for real deployments.
+//
+// Recovery of everything else (blocks, ledger) is intentionally *not*
+// logged: a restarted replica rebuilds the chain through the protocol's
+// block-retrieval path, which it needs anyway to catch up with what it
+// missed while down.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace repro::storage {
+
+class Wal {
+ public:
+  virtual ~Wal() = default;
+
+  /// Durably append one record. Must be complete ("fsynced") when this
+  /// returns — the protocol votes immediately afterwards.
+  virtual void append(BytesView record) = 0;
+
+  /// All intact records, oldest first. A corrupted/torn tail is silently
+  /// truncated (the classic WAL recovery rule); corruption *before* the
+  /// tail also stops replay there, conservatively.
+  virtual std::vector<Bytes> replay() const = 0;
+
+  /// Number of intact records (for tests / compaction policies).
+  virtual std::size_t record_count() const = 0;
+};
+
+/// In-memory WAL: survives a simulated replica restart (the object
+/// outlives the replica), not a process restart. Used by the harness.
+class MemWal final : public Wal {
+ public:
+  void append(BytesView record) override {
+    records_.emplace_back(record.begin(), record.end());
+  }
+  std::vector<Bytes> replay() const override { return records_; }
+  std::size_t record_count() const override { return records_.size(); }
+
+ private:
+  std::vector<Bytes> records_;
+};
+
+/// File-backed WAL. Record format: u32 length, u32 checksum (first four
+/// bytes of SHA-256 over the body), body. Appends are flushed before
+/// returning.
+class FileWal final : public Wal {
+ public:
+  /// Opens (creating if absent) the log at `path` for appending.
+  explicit FileWal(std::string path);
+  ~FileWal() override;
+
+  FileWal(const FileWal&) = delete;
+  FileWal& operator=(const FileWal&) = delete;
+
+  void append(BytesView record) override;
+  std::vector<Bytes> replay() const override;
+  std::size_t record_count() const override { return replay().size(); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace repro::storage

@@ -1,0 +1,354 @@
+#include "transport/node.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace repro::transport {
+namespace {
+
+constexpr std::uint32_t kMaxFrame = 16u << 20;  // 16 MiB
+constexpr ReplicaId kUnknownPeer = UINT32_MAX;
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::uint32_t read_le32(const std::uint8_t* p) {
+  return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) | (std::uint32_t(p[2]) << 16) |
+         (std::uint32_t(p[3]) << 24);
+}
+
+void write_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = std::uint8_t(v);
+  p[1] = std::uint8_t(v >> 8);
+  p[2] = std::uint8_t(v >> 16);
+  p[3] = std::uint8_t(v >> 24);
+}
+
+/// Write everything or fail (localhost frames are small; blocking writes
+/// from the single node thread keep the implementation lock-free).
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR)) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Socket buffer full: briefly block until writable.
+        pollfd pfd{fd, POLLOUT, 0};
+        if (::poll(&pfd, 1, 1000) > 0) continue;
+      }
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---- RealtimeExecutor -------------------------------------------------------
+
+RealtimeExecutor::RealtimeExecutor() : epoch_(std::chrono::steady_clock::now()) {}
+
+SimTime RealtimeExecutor::now() const {
+  return static_cast<SimTime>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                  std::chrono::steady_clock::now() - epoch_)
+                                  .count());
+}
+
+sim::EventId RealtimeExecutor::schedule_at(SimTime t, std::function<void()> cb) {
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{t, seq, seq});
+  callbacks_.emplace(seq, std::move(cb));
+  return seq;
+}
+
+void RealtimeExecutor::cancel(sim::EventId id) {
+  if (callbacks_.count(id) != 0) cancelled_.insert(id);
+}
+
+SimTime RealtimeExecutor::next_deadline() const {
+  // Cancelled heads still wake the loop early — harmless, they are
+  // dropped in run_due().
+  return queue_.empty() ? kSimTimeNever : queue_.top().time;
+}
+
+std::size_t RealtimeExecutor::run_due() {
+  std::size_t fired = 0;
+  const SimTime deadline = now();
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    const Entry e = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(e.id) != 0) {
+      callbacks_.erase(e.id);
+      continue;
+    }
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) continue;
+    auto cb = std::move(it->second);
+    callbacks_.erase(it);
+    cb();
+    ++fired;
+  }
+  return fired;
+}
+
+// ---- TcpNetwork -------------------------------------------------------------
+
+/// INetwork over the node's socket mesh. Lives on the node thread.
+class TcpNode::TcpNetwork final : public net::INetwork {
+ public:
+  explicit TcpNetwork(TcpNode& node) : node_(node) {}
+
+  void send(ReplicaId from, ReplicaId to, Bytes payload) override {
+    REPRO_ASSERT(from == node_.cfg_.id);
+    if (to == from) {
+      // Self-delivery: queue on the executor like the simulator does.
+      node_.executor_.schedule_at(
+          node_.executor_.now(),
+          [&node = node_, payload = std::move(payload)] {
+            if (node.replica_) node.replica_->on_message(node.cfg_.id, payload);
+          });
+      return;
+    }
+    auto it = node_.fd_of_peer_.find(to);
+    if (it == node_.fd_of_peer_.end()) return;  // down; reconnect in progress
+    std::uint8_t header[4];
+    write_le32(header, static_cast<std::uint32_t>(payload.size()));
+    if (!write_all(it->second, header, 4) ||
+        !write_all(it->second, payload.data(), payload.size())) {
+      node_.close_peer(it->second);
+    }
+  }
+
+  void multicast(ReplicaId from, const Bytes& payload) override {
+    for (ReplicaId to = 0; to < node_.cfg_.peers.size(); ++to) {
+      send(from, to, payload);
+    }
+  }
+
+ private:
+  TcpNode& node_;
+};
+
+// ---- TcpNode ---------------------------------------------------------------
+
+TcpNode::TcpNode(NodeConfig cfg, ReplicaFactory factory)
+    : cfg_(std::move(cfg)), factory_(std::move(factory)) {
+  REPRO_ASSERT(cfg_.crypto != nullptr);
+  REPRO_ASSERT(cfg_.id < cfg_.peers.size());
+}
+
+TcpNode::~TcpNode() { stop(); }
+
+void TcpNode::start() {
+  REPRO_ASSERT(!thread_.joinable());
+  REPRO_ASSERT_MSG(pipe(wake_pipe_) == 0, "pipe() failed");
+  set_nonblocking(wake_pipe_[0]);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  REPRO_ASSERT(listen_fd_ >= 0);
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(cfg_.peers[cfg_.id].port);
+  REPRO_ASSERT_MSG(bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+                   "bind failed — port in use?");
+  REPRO_ASSERT(listen(listen_fd_, 16) == 0);
+  set_nonblocking(listen_fd_);
+
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void TcpNode::stop() {
+  if (!thread_.joinable()) return;
+  stop_flag_.store(true);
+  const char byte = 1;
+  [[maybe_unused]] ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  thread_.join();
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  fd_of_peer_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+}
+
+void TcpNode::try_connect(ReplicaId peer) {
+  if (stop_flag_.load() || fd_of_peer_.count(peer) != 0) return;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.peers[peer].port);
+  inet_pton(AF_INET, cfg_.peers[peer].host.c_str(), &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    // Peer not up yet: retry.
+    executor_.schedule_after(cfg_.reconnect_interval, [this, peer] { try_connect(peer); });
+    return;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Hello: our replica id, so the acceptor can map the connection.
+  std::uint8_t hello[4];
+  write_le32(hello, cfg_.id);
+  if (!write_all(fd, hello, 4)) {
+    ::close(fd);
+    executor_.schedule_after(cfg_.reconnect_interval, [this, peer] { try_connect(peer); });
+    return;
+  }
+  set_nonblocking(fd);
+  conns_[fd] = Conn{peer, {}};
+  fd_of_peer_[peer] = fd;
+}
+
+void TcpNode::close_peer(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  const ReplicaId peer = it->second.peer;
+  conns_.erase(it);
+  ::close(fd);
+  if (peer != kUnknownPeer) {
+    fd_of_peer_.erase(peer);
+    // We initiate connections to lower-id peers; they re-dial us.
+    if (peer < cfg_.id) {
+      executor_.schedule_after(cfg_.reconnect_interval, [this, peer] { try_connect(peer); });
+    }
+  }
+}
+
+void TcpNode::on_frame(ReplicaId from, Bytes payload) {
+  if (replica_) replica_->on_message(from, payload);
+}
+
+void TcpNode::handle_readable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.inbox.insert(conn.inbox.end(), buf, buf + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close_peer(fd);  // EOF or hard error
+    return;
+  }
+
+  // Hello first on accepted connections.
+  if (conn.peer == kUnknownPeer) {
+    if (conn.inbox.size() < 4) return;
+    const ReplicaId peer = read_le32(conn.inbox.data());
+    conn.inbox.erase(conn.inbox.begin(), conn.inbox.begin() + 4);
+    if (peer >= cfg_.peers.size() || fd_of_peer_.count(peer) != 0) {
+      close_peer(fd);
+      return;
+    }
+    conn.peer = peer;
+    fd_of_peer_[peer] = fd;
+  }
+
+  // Extract complete frames.
+  std::size_t offset = 0;
+  while (conn.inbox.size() - offset >= 4) {
+    const std::uint32_t len = read_le32(conn.inbox.data() + offset);
+    if (len > kMaxFrame) {
+      close_peer(fd);
+      return;
+    }
+    if (conn.inbox.size() - offset - 4 < len) break;
+    Bytes payload(conn.inbox.begin() + offset + 4, conn.inbox.begin() + offset + 4 + len);
+    offset += 4 + len;
+    on_frame(conn.peer, std::move(payload));
+    // on_frame can close fd via a send failure; revalidate.
+    it = conns_.find(fd);
+    if (it == conns_.end()) return;
+  }
+  if (offset > 0) conn.inbox.erase(conn.inbox.begin(), conn.inbox.begin() + offset);
+}
+
+void TcpNode::run_loop() {
+  network_ = std::make_unique<TcpNetwork>(*this);
+
+  core::ReplicaContext ctx;
+  ctx.sim = &executor_;
+  ctx.net = network_.get();
+  ctx.crypto = cfg_.crypto;
+  ctx.id = cfg_.id;
+  ctx.config = cfg_.pcfg;
+  ctx.seed = cfg_.seed;
+  ctx.wal = cfg_.wal;
+  replica_ = factory_(ctx);
+  replica_->ledger().set_commit_callback(
+      [this](const smr::Block&, SimTime) { committed_.fetch_add(1); });
+
+  // Dial lower-id peers (they accept); higher-id peers dial us.
+  for (ReplicaId peer = 0; peer < cfg_.id; ++peer) try_connect(peer);
+  replica_->start();
+
+  std::vector<pollfd> pfds;
+  while (!stop_flag_.load(std::memory_order_relaxed)) {
+    pfds.clear();
+    pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : conns_) pfds.push_back(pollfd{fd, POLLIN, 0});
+
+    int timeout_ms = 100;
+    const SimTime deadline = executor_.next_deadline();
+    if (deadline != kSimTimeNever) {
+      const SimTime now = executor_.now();
+      timeout_ms = deadline <= now
+                       ? 0
+                       : static_cast<int>(std::min<SimTime>((deadline - now) / 1000 + 1, 100));
+    }
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;
+
+    if (pfds[0].revents & POLLIN) {
+      char drain[16];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (pfds[1].revents & POLLIN) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        const int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        set_nonblocking(fd);
+        conns_[fd] = Conn{kUnknownPeer, {}};
+      }
+    }
+    // Collect ready fds first: handle_readable can mutate conns_.
+    std::vector<int> readable;
+    for (std::size_t i = 2; i < pfds.size(); ++i) {
+      if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) readable.push_back(pfds[i].fd);
+    }
+    for (int fd : readable) handle_readable(fd);
+
+    executor_.run_due();
+  }
+}
+
+}  // namespace repro::transport

@@ -1,0 +1,176 @@
+// Unit tests for the simulated network and its delay models (the
+// adversary implementations).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/delay_model.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace repro::net {
+namespace {
+
+struct Delivery {
+  ReplicaId to;
+  ReplicaId from;
+  Bytes payload;
+  SimTime at;
+};
+
+struct Rig {
+  sim::Simulation sim;
+  std::unique_ptr<Network> net;
+  std::vector<Delivery> log;
+
+  explicit Rig(std::uint32_t n, std::unique_ptr<DelayModel> model) {
+    net = std::make_unique<Network>(sim, n, std::move(model), Rng(77));
+    for (ReplicaId id = 0; id < n; ++id) {
+      net->register_handler(id, [this, id](ReplicaId from, const Bytes& payload) {
+        log.push_back(Delivery{id, from, payload, sim.now()});
+      });
+    }
+  }
+};
+
+TEST(Network, DeliversWithModelDelay) {
+  Rig rig(2, std::make_unique<FixedDelayModel>(500));
+  rig.net->send(0, 1, Bytes{1, 2, 3});
+  rig.sim.run();
+  ASSERT_EQ(rig.log.size(), 1u);
+  EXPECT_EQ(rig.log[0].at, 500u);
+  EXPECT_EQ(rig.log[0].from, 0u);
+  EXPECT_EQ(rig.log[0].payload, (Bytes{1, 2, 3}));
+}
+
+TEST(Network, SelfSendIsImmediateAndFree) {
+  Rig rig(2, std::make_unique<FixedDelayModel>(500));
+  rig.net->send(0, 0, Bytes{9});
+  rig.sim.run();
+  ASSERT_EQ(rig.log.size(), 1u);
+  EXPECT_EQ(rig.log[0].at, 0u);
+  EXPECT_EQ(rig.net->stats().messages, 0u);  // self-delivery not counted
+}
+
+TEST(Network, MulticastReachesAllIncludingSender) {
+  Rig rig(4, std::make_unique<FixedDelayModel>(10));
+  rig.net->multicast(2, Bytes{7});
+  rig.sim.run();
+  EXPECT_EQ(rig.log.size(), 4u);
+  // n-1 network messages counted (self-delivery free).
+  EXPECT_EQ(rig.net->stats().messages, 3u);
+  EXPECT_EQ(rig.net->stats().bytes, 3u);
+}
+
+TEST(Network, StatsCountByTypeTag) {
+  Rig rig(2, std::make_unique<FixedDelayModel>(1));
+  rig.net->send(0, 1, Bytes{5, 0, 0});  // tag 5
+  rig.net->send(0, 1, Bytes{5, 1});     // tag 5
+  rig.net->send(0, 1, Bytes{9});        // tag 9
+  rig.sim.run();
+  EXPECT_EQ(rig.net->stats().messages_by_type[5], 2u);
+  EXPECT_EQ(rig.net->stats().bytes_by_type[5], 5u);
+  EXPECT_EQ(rig.net->stats().messages_by_type[9], 1u);
+}
+
+TEST(Network, StatsDeltaOperator) {
+  Rig rig(2, std::make_unique<FixedDelayModel>(1));
+  rig.net->send(0, 1, Bytes{1, 1});
+  const NetStats before = rig.net->stats();
+  rig.net->send(0, 1, Bytes{1, 1, 1});
+  const NetStats delta = rig.net->stats() - before;
+  EXPECT_EQ(delta.messages, 1u);
+  EXPECT_EQ(delta.bytes, 3u);
+}
+
+TEST(Network, NoDropsEverUnderAnyModel) {
+  // Reliability: 200 messages under the asynchronous adversary all arrive.
+  Rig rig(3, std::make_unique<AsynchronousModel>(1'000'000, 5'000'000));
+  for (int i = 0; i < 200; ++i) rig.net->send(0, 1 + (i % 2), Bytes{1});
+  rig.sim.run();
+  EXPECT_EQ(rig.log.size(), 200u);
+}
+
+// ---- delay models -----------------------------------------------------------
+
+TEST(DelayModels, SynchronousBoundedByDelta) {
+  SynchronousModel model(100, 5000);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime d = model.delay(MessageContext{0, 1, 10, 0}, rng);
+    EXPECT_GE(d, 100u);
+    EXPECT_LE(d, 5000u);
+  }
+}
+
+TEST(DelayModels, AsynchronousCappedAtMax) {
+  AsynchronousModel model(1'000'000, 2'000'000);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(model.delay(MessageContext{0, 1, 10, 0}, rng), 2'000'000u);
+  }
+}
+
+TEST(DelayModels, AsynchronousOftenExceedsDelta) {
+  AsynchronousModel model(1'000'000, 8'000'000);
+  Rng rng(5);
+  int slow = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (model.delay(MessageContext{0, 1, 10, 0}, rng) > 50'000) ++slow;
+  }
+  EXPECT_GT(slow, 900);  // nearly all messages blow past a 50ms Δ
+}
+
+TEST(DelayModels, PartialSynchronyClampsInFlightToGstPlusDelta) {
+  auto pre = std::make_unique<FixedDelayModel>(100'000'000);  // huge
+  PartialSynchronyModel model(1'000'000, 10, 1000, std::move(pre));
+  Rng rng(6);
+  // Sent before GST: must arrive by GST + delta.
+  const SimTime d = model.delay(MessageContext{0, 1, 10, 500'000}, rng);
+  EXPECT_LE(500'000 + d, 1'001'000u);
+  // Sent after GST: synchronous.
+  const SimTime d2 = model.delay(MessageContext{0, 1, 10, 2'000'000}, rng);
+  EXPECT_LE(d2, 1000u);
+}
+
+TEST(DelayModels, TargetedDelaysOnlyTargets) {
+  TargetedDelayModel model(10, 100, 1'000'000);
+  model.set_targets({2});
+  Rng rng(7);
+  EXPECT_LE(model.delay(MessageContext{0, 1, 10, 0}, rng), 100u);
+  EXPECT_GT(model.delay(MessageContext{2, 1, 10, 0}, rng), 1'000'000u - 1);
+  EXPECT_GT(model.delay(MessageContext{0, 2, 10, 0}, rng), 1'000'000u - 1);
+}
+
+TEST(DelayModels, AdaptiveAttackFollowsTargetFn) {
+  AdaptiveLeaderAttackModel model(10, 100, 1'000'000);
+  ReplicaId victim = 0;
+  model.set_targets_fn([&victim] { return std::set<ReplicaId>{victim}; });
+  Rng rng(8);
+  EXPECT_GT(model.delay(MessageContext{0, 1, 10, 0}, rng), 999'999u);
+  victim = 3;
+  EXPECT_LE(model.delay(MessageContext{0, 1, 10, 0}, rng), 100u);
+  EXPECT_GT(model.delay(MessageContext{1, 3, 10, 0}, rng), 999'999u);
+}
+
+TEST(DelayModels, AdaptiveAttackWithoutBindingIsSynchronous) {
+  AdaptiveLeaderAttackModel model(10, 100, 1'000'000);
+  Rng rng(9);
+  EXPECT_LE(model.delay(MessageContext{0, 1, 10, 0}, rng), 100u);
+}
+
+TEST(DelayModels, SwitchingModelPicksPhaseByTime) {
+  std::vector<SwitchingModel::Phase> phases;
+  phases.push_back({0, std::make_unique<FixedDelayModel>(10)});
+  phases.push_back({1000, std::make_unique<FixedDelayModel>(500)});
+  phases.push_back({2000, std::make_unique<FixedDelayModel>(20)});
+  SwitchingModel model(std::move(phases));
+  Rng rng(10);
+  EXPECT_EQ(model.delay(MessageContext{0, 1, 10, 0}, rng), 10u);
+  EXPECT_EQ(model.delay(MessageContext{0, 1, 10, 999}, rng), 10u);
+  EXPECT_EQ(model.delay(MessageContext{0, 1, 10, 1000}, rng), 500u);
+  EXPECT_EQ(model.delay(MessageContext{0, 1, 10, 5000}, rng), 20u);
+}
+
+}  // namespace
+}  // namespace repro::net

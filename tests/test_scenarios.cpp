@@ -1,0 +1,146 @@
+// Scenario tests: multi-phase schedules that exercise the subtle
+// interactions the per-scenario tests cannot (spurious timeouts,
+// quorum-need healing, flapping networks, mass recovery).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/invariants.h"
+
+namespace repro::harness {
+namespace {
+
+/// One replica suffers a transient link problem and misses fallbacks the
+/// others run (its rotation reigns time out, forcing view changes), yet
+/// the system keeps committing; after the links heal, a later mid-run
+/// crash of a *different* replica still leaves a live system: the three
+/// survivors commit through fallbacks whenever rotation reaches the dead
+/// leader.
+TEST(Scenario, DegradedLinksThenCrashStaysLive) {
+  ExperimentConfig cfg;
+  cfg.n = 4;
+  cfg.protocol = Protocol::kFallback3;
+  cfg.seed = 71;
+  auto targeted = std::make_unique<net::TargetedDelayModel>(1'000, 50'000, 2'000'000);
+  auto* targeted_ptr = targeted.get();
+  cfg.make_delay = [&targeted]() { return std::move(targeted); };
+  Experiment exp(cfg);
+  exp.start();
+
+  // Phase 1: replica 1's links degrade (2s deferral >> 400ms timer).
+  targeted_ptr->set_targets({1});
+  exp.run_for(3'000'000);
+  targeted_ptr->set_targets({});
+  exp.run_for(2'000'000);
+
+  // Its reigns forced fallbacks; it missed some of them (delayed links),
+  // but everyone has exited by now and progress never stopped.
+  EXPECT_GT(exp.replica(0).stats().fallbacks_entered,
+            exp.replica(1).stats().fallbacks_entered);
+  for (ReplicaId id = 0; id < 4; ++id) {
+    EXPECT_FALSE(exp.replica(id).in_fallback()) << id;
+    EXPECT_GT(exp.replica(id).ledger().size(), 10u) << id;
+  }
+  const std::size_t commits_before = exp.max_honest_commits();
+
+  // Phase 2: replica 3 dies mid-run (not declared faulty anywhere — the
+  // survivors cannot know, they just stop hearing from it). The three
+  // remaining replicas are exactly 2f+1: steady rounds led by the dead
+  // replica time out into fallbacks, and commits keep flowing.
+  exp.replica(3).halt();
+  exp.run_for(30'000'000);
+  for (ReplicaId id = 0; id < 3; ++id) {
+    EXPECT_GT(exp.replica(id).ledger().size(), commits_before + 20) << id;
+  }
+  EXPECT_TRUE(exp.check_safety().ok);
+  const auto rep = check_invariants(exp);
+  EXPECT_TRUE(rep.ok) << (rep.violations.empty() ? "" : rep.violations.front());
+}
+
+TEST(Scenario, RapidNetworkFlappingStaysSafeAndLive) {
+  // The network flips between good and adversarial every ~1.5 s — faster
+  // than some fallbacks complete, so entries/exits interleave heavily.
+  ExperimentConfig cfg;
+  cfg.n = 4;
+  cfg.protocol = Protocol::kFallback3;
+  cfg.scenario = NetScenario::kLeaderAttack;
+  cfg.attack_delay = 2'500'000;
+  cfg.seed = 72;
+  Experiment exp(cfg);
+  bool attack_on = false;
+  auto* attack =
+      dynamic_cast<net::AdaptiveLeaderAttackModel*>(&exp.network().delay_model());
+  auto& e = exp;
+  attack->set_targets_fn([&attack_on, &e]() {
+    std::set<ReplicaId> targets;
+    if (!attack_on) return targets;
+    for (ReplicaId id = 0; id < e.n(); ++id) {
+      targets.insert(core::round_leader(e.replica(id).current_round(), e.n(),
+                                        e.config().pcfg.leader_rotation));
+    }
+    return targets;
+  });
+  exp.start();
+  for (int flip = 0; flip < 20; ++flip) {
+    attack_on = !attack_on;
+    exp.run_for(1'500'000);
+    ASSERT_TRUE(exp.check_safety().ok) << "flip " << flip;
+  }
+  // Over ~30s with half the time good, substantial progress must happen.
+  EXPECT_GT(exp.min_honest_commits(), 50u);
+  const auto rep = check_invariants(exp);
+  EXPECT_TRUE(rep.ok) << (rep.violations.empty() ? "" : rep.violations.front());
+}
+
+TEST(Scenario, MassCrashRecoveryViaWal) {
+  // f replicas crash simultaneously mid-run and both restart later —
+  // the system stalls at no point beyond the crash window itself.
+  ExperimentConfig cfg;
+  cfg.n = 7;
+  cfg.protocol = Protocol::kFallback3;
+  cfg.seed = 73;
+  cfg.enable_wal = true;
+  Experiment exp(cfg);
+  exp.start();
+  ASSERT_TRUE(exp.run_until_commits(20, 120'000'000));
+
+  exp.replica(2).halt();
+  exp.replica(5).halt();
+  exp.run_for(5'000'000);  // system keeps going with 5 of 7
+  const std::size_t mid = exp.max_honest_commits();
+  EXPECT_GT(mid, 20u);
+
+  exp.restart_replica(2);
+  exp.restart_replica(5);
+  ASSERT_TRUE(exp.run_until_commits(mid + 50, 600'000'000));
+  EXPECT_TRUE(exp.check_safety().ok);
+  // The restarted replicas caught up fully.
+  EXPECT_GE(exp.replica(2).ledger().size(), mid);
+  EXPECT_GE(exp.replica(5).ledger().size(), mid);
+}
+
+TEST(Scenario, AttackDuringFallbackItself) {
+  // The adversary switches targets mid-fallback (it starves whoever is
+  // "leader" of the stuck round — irrelevant during a fallback, which is
+  // the point: no single target matters once every replica drives a
+  // chain). The fallback must still complete.
+  ExperimentConfig cfg;
+  cfg.n = 4;
+  cfg.protocol = Protocol::kFallback3;
+  cfg.scenario = NetScenario::kLeaderAttack;
+  cfg.attack_delay = 4'000'000;
+  cfg.seed = 74;
+  Experiment exp(cfg);
+  exp.start();
+  ASSERT_TRUE(exp.run_until_commits(10, 4'000'000'000ull));
+  std::uint64_t entered = 0, exited = 0;
+  for (ReplicaId id = 0; id < 4; ++id) {
+    entered += exp.replica(id).stats().fallbacks_entered;
+    exited += exp.replica(id).stats().fallbacks_exited;
+  }
+  EXPECT_GT(entered, 0u);
+  EXPECT_GT(exited, 0u);
+  EXPECT_TRUE(exp.check_safety().ok);
+}
+
+}  // namespace
+}  // namespace repro::harness

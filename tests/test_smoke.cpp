@@ -1,0 +1,78 @@
+// End-to-end smoke tests: every protocol commits under a good network,
+// and safety holds. Deeper behaviour is covered in the per-module and
+// integration test files.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace repro::harness {
+namespace {
+
+ExperimentConfig base_config(Protocol p) {
+  ExperimentConfig cfg;
+  cfg.n = 4;
+  cfg.protocol = p;
+  cfg.scenario = NetScenario::kSynchronous;
+  cfg.seed = 42;
+  cfg.pcfg.base_timeout_us = 400'000;
+  return cfg;
+}
+
+TEST(Smoke, DiemBftCommitsUnderSynchrony) {
+  Experiment exp(base_config(Protocol::kDiemBft));
+  exp.start();
+  ASSERT_TRUE(exp.run_until_commits(20, 60'000'000));
+  EXPECT_TRUE(exp.check_safety().ok);
+}
+
+TEST(Smoke, Fallback3CommitsUnderSynchrony) {
+  Experiment exp(base_config(Protocol::kFallback3));
+  exp.start();
+  ASSERT_TRUE(exp.run_until_commits(20, 60'000'000));
+  EXPECT_TRUE(exp.check_safety().ok);
+}
+
+TEST(Smoke, Fallback2CommitsUnderSynchrony) {
+  Experiment exp(base_config(Protocol::kFallback2));
+  exp.start();
+  ASSERT_TRUE(exp.run_until_commits(20, 60'000'000));
+  EXPECT_TRUE(exp.check_safety().ok);
+}
+
+TEST(Smoke, AlwaysFallbackCommitsUnderSynchrony) {
+  Experiment exp(base_config(Protocol::kAlwaysFallback));
+  exp.start();
+  ASSERT_TRUE(exp.run_until_commits(20, 120'000'000));
+  EXPECT_TRUE(exp.check_safety().ok);
+}
+
+TEST(Smoke, Fallback3CommitsUnderAsynchrony) {
+  auto cfg = base_config(Protocol::kFallback3);
+  cfg.scenario = NetScenario::kAsynchronous;
+  Experiment exp(cfg);
+  exp.start();
+  ASSERT_TRUE(exp.run_until_commits(5, 2'000'000'000ull));
+  EXPECT_TRUE(exp.check_safety().ok);
+}
+
+TEST(Smoke, DiemBftStallsUnderLeaderAttack) {
+  auto cfg = base_config(Protocol::kDiemBft);
+  cfg.scenario = NetScenario::kLeaderAttack;
+  Experiment exp(cfg);
+  exp.start();
+  exp.run_for(200'000'000);  // 200 virtual seconds of adversarial network
+  EXPECT_EQ(exp.min_honest_commits(), 0u);
+  EXPECT_TRUE(exp.check_safety().ok);
+}
+
+TEST(Smoke, Fallback3CommitsUnderLeaderAttack) {
+  auto cfg = base_config(Protocol::kFallback3);
+  cfg.scenario = NetScenario::kLeaderAttack;
+  Experiment exp(cfg);
+  exp.start();
+  ASSERT_TRUE(exp.run_until_commits(5, 2'000'000'000ull));
+  EXPECT_TRUE(exp.check_safety().ok);
+}
+
+}  // namespace
+}  // namespace repro::harness

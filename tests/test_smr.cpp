@@ -1,0 +1,462 @@
+// Unit tests for the SMR data model: ranks, blocks, certificates, wire
+// messages, block store, ledger and mempool.
+#include <gtest/gtest.h>
+
+#include "smr/block.h"
+#include "smr/block_store.h"
+#include "smr/certificates.h"
+#include "smr/ledger.h"
+#include "smr/mempool.h"
+#include "smr/messages.h"
+#include "smr/rank.h"
+
+namespace repro::smr {
+namespace {
+
+std::shared_ptr<const crypto::CryptoSystem> test_crypto(std::uint32_t n = 4) {
+  return crypto::CryptoSystem::deal(QuorumParams::for_n(n), 4242);
+}
+
+Certificate make_qc(const crypto::CryptoSystem& sys, const BlockId& id, Round r, View v) {
+  std::vector<crypto::PartialSig> shares;
+  const Bytes msg = cert_signing_message(CertKind::kQuorum, id, r, v, 0, 0);
+  for (ReplicaId i = 0; i < sys.params.quorum(); ++i) {
+    shares.push_back(sys.quorum_sigs.sign_share(i, msg));
+  }
+  auto qc = combine_certificate(sys, CertKind::kQuorum, id, r, v, 0, 0, shares);
+  EXPECT_TRUE(qc.has_value());
+  return *qc;
+}
+
+Certificate make_fqc(const crypto::CryptoSystem& sys, const BlockId& id, Round r, View v,
+                     FallbackHeight h, ReplicaId proposer) {
+  std::vector<crypto::PartialSig> shares;
+  const Bytes msg = cert_signing_message(CertKind::kFallback, id, r, v, h, proposer);
+  for (ReplicaId i = 0; i < sys.params.quorum(); ++i) {
+    shares.push_back(sys.quorum_sigs.sign_share(i, msg));
+  }
+  auto qc = combine_certificate(sys, CertKind::kFallback, id, r, v, h, proposer, shares);
+  EXPECT_TRUE(qc.has_value());
+  return *qc;
+}
+
+// ---- Rank -------------------------------------------------------------------
+
+TEST(Rank, OrderedByViewFirst) {
+  EXPECT_LT((Rank{0, true, 100}), (Rank{1, false, 1}));
+}
+
+TEST(Rank, EndorsedBeatsPlainInSameView) {
+  // Paper §3: an endorsed f-QC ranks higher than any QC of the same view.
+  EXPECT_LT((Rank{3, false, 100}), (Rank{3, true, 1}));
+}
+
+TEST(Rank, RoundBreaksTiesLast) {
+  EXPECT_LT((Rank{3, false, 5}), (Rank{3, false, 6}));
+  EXPECT_EQ((Rank{3, false, 5}), (Rank{3, false, 5}));
+}
+
+TEST(Rank, MaxPicksHigher) {
+  const Rank a{1, false, 9};
+  const Rank b{2, false, 1};
+  EXPECT_EQ(max(a, b), b);
+  EXPECT_EQ(max(b, a), b);
+}
+
+TEST(Rank, DiemDegenerateCaseRanksByRound) {
+  // View fixed at 0, no endorsements: rank order == round order.
+  EXPECT_LT((Rank{0, false, 3}), (Rank{0, false, 4}));
+}
+
+// ---- Block ------------------------------------------------------------------
+
+TEST(Block, IdBindsAllFields) {
+  const Certificate g = genesis_certificate();
+  const Block base = Block::make(g, 1, 0, 0, 2, Bytes{1, 2});
+  EXPECT_TRUE(base.id_consistent());
+
+  Block tampered = base;
+  tampered.round = 2;
+  EXPECT_FALSE(tampered.id_consistent());
+  tampered = base;
+  tampered.payload = Bytes{1, 3};
+  EXPECT_FALSE(tampered.id_consistent());
+  tampered = base;
+  tampered.proposer = 3;
+  EXPECT_FALSE(tampered.id_consistent());
+  tampered = base;
+  tampered.height = 1;
+  EXPECT_FALSE(tampered.id_consistent());
+}
+
+TEST(Block, GenesisIsSelfConsistent) {
+  EXPECT_TRUE(Block::genesis().id_consistent());
+  EXPECT_TRUE(Block::genesis().is_genesis());
+  EXPECT_EQ(Block::genesis().round, 0u);
+}
+
+TEST(Block, EncodeDecodeRoundTrip) {
+  const Block b = Block::make(genesis_certificate(), 5, 2, 3, 1, Bytes{9, 9, 9});
+  Encoder enc;
+  b.encode(enc);
+  Decoder dec(enc.result());
+  auto decoded = Block::decode(dec);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, b);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Block, DistinctPayloadsDistinctIds) {
+  const Block a = Block::make(genesis_certificate(), 1, 0, 0, 0, Bytes{1});
+  const Block b = Block::make(genesis_certificate(), 1, 0, 0, 0, Bytes{2});
+  EXPECT_NE(a.id, b.id);
+}
+
+// ---- Certificates --------------------------------------------------------------
+
+TEST(Certificates, GenesisVerifiesByFiat) {
+  auto sys = test_crypto();
+  EXPECT_TRUE(verify_certificate(*sys, genesis_certificate()));
+}
+
+TEST(Certificates, ForgedGenesisRejected) {
+  auto sys = test_crypto();
+  Certificate fake = genesis_certificate();
+  fake.round = 3;
+  EXPECT_FALSE(verify_certificate(*sys, fake));
+}
+
+TEST(Certificates, QuorumCertRoundTripsAndVerifies) {
+  auto sys = test_crypto();
+  const Block b = Block::make(genesis_certificate(), 1, 0, 0, 0, Bytes{});
+  const Certificate qc = make_qc(*sys, b.id, 1, 0);
+  EXPECT_TRUE(verify_certificate(*sys, qc));
+
+  Encoder enc;
+  qc.encode(enc);
+  Decoder dec(enc.result());
+  auto decoded = Certificate::decode(dec);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, qc);
+}
+
+TEST(Certificates, TamperedQcRejected) {
+  auto sys = test_crypto();
+  const Block b = Block::make(genesis_certificate(), 1, 0, 0, 0, Bytes{});
+  Certificate qc = make_qc(*sys, b.id, 1, 0);
+  qc.round = 2;
+  EXPECT_FALSE(verify_certificate(*sys, qc));
+}
+
+TEST(Certificates, QuorumCertWithHeightRejected) {
+  auto sys = test_crypto();
+  const Block b = Block::make(genesis_certificate(), 1, 0, 0, 0, Bytes{});
+  Certificate qc = make_qc(*sys, b.id, 1, 0);
+  qc.height = 2;  // regular QCs must have height 0
+  EXPECT_FALSE(verify_certificate(*sys, qc));
+}
+
+TEST(Certificates, FallbackCertVerifies) {
+  auto sys = test_crypto();
+  const Block b = Block::make(genesis_certificate(), 1, 1, 1, 2, Bytes{});
+  const Certificate fqc = make_fqc(*sys, b.id, 1, 1, 1, 2);
+  EXPECT_TRUE(verify_certificate(*sys, fqc));
+}
+
+TEST(Certificates, FallbackCertHeightBoundsEnforced) {
+  auto sys = test_crypto();
+  const Block b = Block::make(genesis_certificate(), 1, 1, 1, 2, Bytes{});
+  Certificate fqc = make_fqc(*sys, b.id, 1, 1, 1, 2);
+  fqc.height = 0;
+  EXPECT_FALSE(verify_certificate(*sys, fqc));
+  fqc.height = 4;
+  EXPECT_FALSE(verify_certificate(*sys, fqc));
+}
+
+TEST(Certificates, SigningMessageSeparatesQcFromFqc) {
+  // An f-QC signature must not validate as a regular QC of the same block.
+  const BlockId id = genesis_id();
+  EXPECT_NE(cert_signing_message(CertKind::kQuorum, id, 1, 0, 0, 0),
+            cert_signing_message(CertKind::kFallback, id, 1, 0, 1, 0));
+}
+
+TEST(Certificates, CombineRequiresQuorum) {
+  auto sys = test_crypto();
+  const Block b = Block::make(genesis_certificate(), 1, 0, 0, 0, Bytes{});
+  const Bytes msg = cert_signing_message(CertKind::kQuorum, b.id, 1, 0, 0, 0);
+  std::vector<crypto::PartialSig> shares = {sys->quorum_sigs.sign_share(0, msg),
+                                            sys->quorum_sigs.sign_share(1, msg)};
+  EXPECT_FALSE(
+      combine_certificate(*sys, CertKind::kQuorum, b.id, 1, 0, 0, 0, shares).has_value());
+}
+
+TEST(Certificates, TcAndFtcVerify) {
+  auto sys = test_crypto();
+  std::vector<crypto::PartialSig> tc_shares, ftc_shares;
+  for (ReplicaId i = 0; i < 3; ++i) {
+    tc_shares.push_back(sys->quorum_sigs.sign_share(i, tc_signing_message(7)));
+    ftc_shares.push_back(sys->quorum_sigs.sign_share(i, ftc_signing_message(2)));
+  }
+  auto tc = combine_tc(*sys, 7, tc_shares);
+  ASSERT_TRUE(tc.has_value());
+  EXPECT_TRUE(verify_tc(*sys, *tc));
+  EXPECT_FALSE(verify_tc(*sys, TimeoutCert{8, tc->sig}));
+
+  auto ftc = combine_ftc(*sys, 2, ftc_shares);
+  ASSERT_TRUE(ftc.has_value());
+  EXPECT_TRUE(verify_ftc(*sys, *ftc));
+  EXPECT_FALSE(verify_ftc(*sys, FallbackTC{3, ftc->sig}));
+}
+
+TEST(Certificates, TcShareIsNotFtcShare) {
+  // Round-TC and view-f-TC domains must not collide even for equal numbers.
+  EXPECT_NE(tc_signing_message(5), ftc_signing_message(5));
+}
+
+TEST(Certificates, CoinQcElectsConsistently) {
+  auto sys = test_crypto();
+  std::vector<crypto::PartialSig> shares = {sys->coin.coin_share(0, 3),
+                                            sys->coin.coin_share(2, 3)};
+  auto qc = combine_coin_qc(*sys, 3, shares);
+  ASSERT_TRUE(qc.has_value());
+  EXPECT_TRUE(verify_coin_qc(*sys, *qc));
+  EXPECT_LT(qc->leader(*sys), 4u);
+  EXPECT_FALSE(verify_coin_qc(*sys, CoinQC{4, qc->sig}));
+}
+
+// ---- Messages -------------------------------------------------------------------
+
+TEST(Messages, AllTypesRoundTrip) {
+  auto sys = test_crypto();
+  const Block blk = Block::make(genesis_certificate(), 1, 0, 0, 0, Bytes{1, 2, 3});
+  const Certificate qc = make_qc(*sys, blk.id, 1, 0);
+
+  std::vector<Message> cases;
+  {
+    ProposalMsg m;
+    m.block = blk;
+    m.tc = TimeoutCert{3, crypto::ThresholdSig{99}};
+    m.coins = {CoinQC{1, crypto::ThresholdSig{5}}};
+    cases.push_back(m);
+  }
+  cases.push_back(VoteMsg{blk.id, 1, 0, crypto::PartialSig{2, 77}});
+  {
+    DiemTimeoutMsg m;
+    m.round = 4;
+    m.round_share = crypto::PartialSig{1, 55};
+    m.qc_high = qc;
+    cases.push_back(m);
+  }
+  cases.push_back(DiemTcMsg{TimeoutCert{9, crypto::ThresholdSig{1}}});
+  {
+    FbTimeoutMsg m;
+    m.view = 2;
+    m.view_share = crypto::PartialSig{0, 11};
+    m.qc_high = qc;
+    cases.push_back(m);
+  }
+  {
+    FbProposalMsg m;
+    m.block = blk;
+    m.ftc = FallbackTC{2, crypto::ThresholdSig{8}};
+    cases.push_back(m);
+  }
+  cases.push_back(FbVoteMsg{blk.id, 2, 1, 1, 3, crypto::PartialSig{1, 6}});
+  cases.push_back(FbQcMsg{qc, {}});
+  cases.push_back(CoinShareMsg{7, crypto::PartialSig{3, 2}});
+  cases.push_back(CoinQcMsg{CoinQC{7, crypto::ThresholdSig{3}}});
+  cases.push_back(BlockRequestMsg{blk.id, 64});
+  cases.push_back(BlockResponseMsg{{blk, Block::genesis()}});
+
+  for (auto& msg : cases) {
+    sign_message(*sys, 0, msg);
+    const Bytes wire = encode_message(msg);
+    ASSERT_FALSE(wire.empty());
+    EXPECT_EQ(wire[0], static_cast<std::uint8_t>(message_type(msg)));
+    auto decoded = decode_message(wire);
+    ASSERT_TRUE(decoded.has_value()) << "type " << int(wire[0]);
+    EXPECT_EQ(encode_message(*decoded), wire);
+  }
+}
+
+TEST(Messages, SignatureVerificationBindsSender) {
+  auto sys = test_crypto();
+  Message msg = ProposalMsg{Block::make(genesis_certificate(), 1, 0, 0, 0, Bytes{}),
+                            std::nullopt, {}, {}};
+  sign_message(*sys, 1, msg);
+  EXPECT_TRUE(verify_message_signature(*sys, 1, msg));
+  EXPECT_FALSE(verify_message_signature(*sys, 2, msg));
+}
+
+TEST(Messages, UnsignedTypesAlwaysVerify) {
+  auto sys = test_crypto();
+  Message msg = VoteMsg{genesis_id(), 1, 0, crypto::PartialSig{0, 1}};
+  EXPECT_TRUE(verify_message_signature(*sys, 3, msg));
+}
+
+TEST(Messages, MalformedInputRejected) {
+  EXPECT_FALSE(decode_message(Bytes{}).has_value());
+  EXPECT_FALSE(decode_message(Bytes{0}).has_value());     // invalid tag
+  EXPECT_FALSE(decode_message(Bytes{200}).has_value());   // unknown tag
+  EXPECT_FALSE(decode_message(Bytes{1, 2, 3}).has_value());  // truncated body
+}
+
+TEST(Messages, TrailingGarbageRejected) {
+  Message msg = CoinShareMsg{7, crypto::PartialSig{3, 2}};
+  Bytes wire = encode_message(msg);
+  wire.push_back(0xff);
+  EXPECT_FALSE(decode_message(wire).has_value());
+}
+
+TEST(Messages, TruncationAtEveryByteNeverCrashes) {
+  auto sys = test_crypto();
+  Message msg = FbProposalMsg{Block::make(genesis_certificate(), 1, 0, 1, 0, Bytes{1}),
+                              FallbackTC{0, crypto::ThresholdSig{1}},
+                              {CoinQC{0, crypto::ThresholdSig{2}}},
+                              {}};
+  sign_message(*sys, 0, msg);
+  const Bytes wire = encode_message(msg);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(decode_message(BytesView(wire.data(), len)).has_value()) << len;
+  }
+}
+
+// ---- BlockStore ------------------------------------------------------------------
+
+TEST(BlockStore, GenesisPreInstalled) {
+  BlockStore store;
+  EXPECT_TRUE(store.contains(genesis_id()));
+  EXPECT_TRUE(store.is_certified(genesis_id()));
+}
+
+TEST(BlockStore, InsertAndGet) {
+  BlockStore store;
+  const Block b = Block::make(genesis_certificate(), 1, 0, 0, 0, Bytes{1});
+  EXPECT_TRUE(store.insert(b));
+  EXPECT_FALSE(store.insert(b));  // dedup
+  ASSERT_NE(store.get(b.id), nullptr);
+  EXPECT_EQ(*store.get(b.id), b);
+}
+
+TEST(BlockStore, WalkAncestorsToGenesis) {
+  auto sys = test_crypto();
+  BlockStore store;
+  const Block b1 = Block::make(genesis_certificate(), 1, 0, 0, 0, Bytes{1});
+  const Certificate qc1 = make_qc(*sys, b1.id, 1, 0);
+  const Block b2 = Block::make(qc1, 2, 0, 0, 0, Bytes{2});
+  store.insert(b1);
+  store.insert(b2);
+  const auto walk = store.walk_ancestors(b2.id);
+  EXPECT_FALSE(walk.missing.has_value());
+  ASSERT_EQ(walk.blocks.size(), 3u);
+  EXPECT_EQ(walk.blocks[0]->id, b2.id);
+  EXPECT_EQ(walk.blocks[2]->id, genesis_id());
+}
+
+TEST(BlockStore, WalkReportsMissingAncestor) {
+  auto sys = test_crypto();
+  BlockStore store;
+  const Block b1 = Block::make(genesis_certificate(), 1, 0, 0, 0, Bytes{1});
+  const Certificate qc1 = make_qc(*sys, b1.id, 1, 0);
+  const Block b2 = Block::make(qc1, 2, 0, 0, 0, Bytes{2});
+  store.insert(b2);  // b1 body absent
+  const auto walk = store.walk_ancestors(b2.id);
+  ASSERT_TRUE(walk.missing.has_value());
+  EXPECT_EQ(*walk.missing, b1.id);
+  EXPECT_EQ(walk.blocks.size(), 1u);
+}
+
+TEST(BlockStore, CertificateLogKeepsFirstPerBlock) {
+  auto sys = test_crypto();
+  BlockStore store;
+  const Block b = Block::make(genesis_certificate(), 1, 0, 0, 0, Bytes{});
+  const Certificate qc = make_qc(*sys, b.id, 1, 0);
+  EXPECT_TRUE(store.add_certificate(qc));
+  EXPECT_FALSE(store.add_certificate(qc));
+  ASSERT_NE(store.certificate_for(b.id), nullptr);
+  EXPECT_EQ(store.certificate_for(b.id)->block_id, b.id);
+}
+
+// ---- Ledger ----------------------------------------------------------------------
+
+TEST(Ledger, CommitsChainOldestFirst) {
+  auto sys = test_crypto();
+  BlockStore store;
+  const Block b1 = Block::make(genesis_certificate(), 1, 0, 0, 0, Bytes{1});
+  const Certificate qc1 = make_qc(*sys, b1.id, 1, 0);
+  const Block b2 = Block::make(qc1, 2, 0, 0, 0, Bytes{2});
+  store.insert(b1);
+  store.insert(b2);
+
+  Ledger ledger;
+  std::vector<Round> committed_rounds;
+  ledger.set_commit_callback([&](const Block& b, SimTime) {
+    committed_rounds.push_back(b.round);
+  });
+  EXPECT_EQ(ledger.commit_chain(b2, store, 100), 2u);
+  EXPECT_EQ(committed_rounds, (std::vector<Round>{1, 2}));
+  EXPECT_TRUE(ledger.is_committed(b1.id));
+  EXPECT_TRUE(ledger.is_committed(b2.id));
+  EXPECT_EQ(ledger.records()[0].commit_time, 100u);
+}
+
+TEST(Ledger, RecommitIsNoop) {
+  auto sys = test_crypto();
+  BlockStore store;
+  const Block b1 = Block::make(genesis_certificate(), 1, 0, 0, 0, Bytes{1});
+  store.insert(b1);
+  Ledger ledger;
+  EXPECT_EQ(ledger.commit_chain(b1, store, 1), 1u);
+  EXPECT_EQ(ledger.commit_chain(b1, store, 2), 0u);
+  EXPECT_EQ(ledger.size(), 1u);
+}
+
+TEST(Ledger, CanCommitDetectsMissingAncestor) {
+  auto sys = test_crypto();
+  BlockStore store;
+  const Block b1 = Block::make(genesis_certificate(), 1, 0, 0, 0, Bytes{1});
+  const Certificate qc1 = make_qc(*sys, b1.id, 1, 0);
+  const Block b2 = Block::make(qc1, 2, 0, 0, 0, Bytes{2});
+  store.insert(b2);
+  Ledger ledger;
+  std::optional<BlockId> missing;
+  EXPECT_FALSE(ledger.can_commit(b2, store, &missing));
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(*missing, b1.id);
+}
+
+TEST(Ledger, CommitExtendsFromPreviousCommit) {
+  auto sys = test_crypto();
+  BlockStore store;
+  const Block b1 = Block::make(genesis_certificate(), 1, 0, 0, 0, Bytes{1});
+  const Certificate qc1 = make_qc(*sys, b1.id, 1, 0);
+  const Block b2 = Block::make(qc1, 2, 0, 0, 0, Bytes{2});
+  store.insert(b1);
+  store.insert(b2);
+  Ledger ledger;
+  ledger.commit_chain(b1, store, 1);
+  EXPECT_EQ(ledger.commit_chain(b2, store, 2), 1u);
+  ASSERT_EQ(ledger.records().size(), 2u);
+  EXPECT_EQ(ledger.records()[1].id, b2.id);
+}
+
+// ---- Mempool ----------------------------------------------------------------------
+
+TEST(Mempool, BatchesHaveConfiguredSize) {
+  Mempool pool(3, 256, Rng(1));
+  EXPECT_EQ(pool.next_batch().size(), 256u + 12u);
+}
+
+TEST(Mempool, BatchesAreDistinct) {
+  Mempool pool(3, 64, Rng(1));
+  EXPECT_NE(pool.next_batch(), pool.next_batch());
+  EXPECT_EQ(pool.batches_produced(), 2u);
+}
+
+TEST(Mempool, DeterministicAcrossInstances) {
+  Mempool a(3, 64, Rng(9)), b(3, 64, Rng(9));
+  EXPECT_EQ(a.next_batch(), b.next_batch());
+}
+
+}  // namespace
+}  // namespace repro::smr

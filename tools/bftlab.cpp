@@ -1,0 +1,181 @@
+// bftlab — command-line laboratory for the simulated protocols.
+//
+// Run any protocol under any network scenario with any fault mix and get
+// the full metrics readout, without writing a line of C++:
+//
+//   $ bftlab --protocol fallback3 --net attack --n 7 --commits 50
+//   $ bftlab --protocol diem --net sync --n 31 --faults crash,mute
+//   $ bftlab --protocol fallback2 --net async --seconds 120 --seed 9
+//
+// Every run is deterministic in (arguments, seed) and ends with the
+// safety + invariant checks.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/invariants.h"
+
+using namespace repro;
+using namespace repro::harness;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: bftlab [options]\n"
+      "  --protocol P   diem | fallback3 | fallback3adopt | fallback2 | ace\n"
+      "                 (default fallback3)\n"
+      "  --net S        sync | async | psync | attack  (default sync)\n"
+      "  --n N          replicas, n = 3f+1 recommended  (default 4)\n"
+      "  --commits C    run until every honest replica commits C (default 50)\n"
+      "  --seconds T    cap on virtual time, seconds     (default 600)\n"
+      "  --seed X       RNG seed                          (default 1)\n"
+      "  --batch B      txn batch bytes per block         (default 0)\n"
+      "  --timeout MS   round timer, milliseconds         (default 400)\n"
+      "  --faults LIST  comma-separated, applied to the last replicas:\n"
+      "                 crash | mute | equiv | withhold | spam\n"
+      "  --wal          enable write-ahead logs\n"
+      "  --quiet        metrics only, no banner\n");
+}
+
+bool parse_protocol(const std::string& s, Protocol* out) {
+  if (s == "diem") *out = Protocol::kDiemBft;
+  else if (s == "fallback3") *out = Protocol::kFallback3;
+  else if (s == "fallback3adopt") *out = Protocol::kFallback3Adopt;
+  else if (s == "fallback2") *out = Protocol::kFallback2;
+  else if (s == "ace") *out = Protocol::kAlwaysFallback;
+  else return false;
+  return true;
+}
+
+bool parse_net(const std::string& s, NetScenario* out) {
+  if (s == "sync") *out = NetScenario::kSynchronous;
+  else if (s == "async") *out = NetScenario::kAsynchronous;
+  else if (s == "psync") *out = NetScenario::kPartialSynchrony;
+  else if (s == "attack") *out = NetScenario::kLeaderAttack;
+  else return false;
+  return true;
+}
+
+bool parse_fault(const std::string& s, core::FaultKind* out) {
+  if (s == "crash") *out = core::FaultKind::kCrash;
+  else if (s == "mute") *out = core::FaultKind::kMuteLeader;
+  else if (s == "equiv") *out = core::FaultKind::kEquivocate;
+  else if (s == "withhold") *out = core::FaultKind::kWithholdVotes;
+  else if (s == "spam") *out = core::FaultKind::kTimeoutSpam;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig cfg;
+  std::size_t commits = 50;
+  SimTime horizon = 600'000'000;
+  bool quiet = false;
+  std::vector<core::FaultKind> faults;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--protocol") {
+      if (!parse_protocol(next(), &cfg.protocol)) { usage(); return 2; }
+    } else if (arg == "--net") {
+      if (!parse_net(next(), &cfg.scenario)) { usage(); return 2; }
+    } else if (arg == "--n") {
+      cfg.n = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--commits") {
+      commits = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--seconds") {
+      horizon = static_cast<SimTime>(std::atoll(next())) * 1'000'000;
+    } else if (arg == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--batch") {
+      cfg.pcfg.batch_bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--timeout") {
+      cfg.pcfg.base_timeout_us = static_cast<SimTime>(std::atoll(next())) * 1'000;
+    } else if (arg == "--wal") {
+      cfg.enable_wal = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--faults") {
+      std::string list = next();
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string tok = list.substr(pos, comma - pos);
+        core::FaultKind kind;
+        if (!tok.empty()) {
+          if (!parse_fault(tok, &kind)) { usage(); return 2; }
+          faults.push_back(kind);
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else {
+      usage();
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  const auto f = QuorumParams::for_n(cfg.n).f;
+  if (faults.size() > f) {
+    std::fprintf(stderr, "refusing %zu faults with f = %u (safety is only promised for <= f)\n",
+                 faults.size(), f);
+    return 2;
+  }
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    cfg.faults[static_cast<ReplicaId>(cfg.n - 1 - i)] = faults[i];
+  }
+
+  if (!quiet) {
+    std::printf("bftlab: %s, n=%u (f=%u), seed=%llu, target=%zu commits\n",
+                protocol_name(cfg.protocol), cfg.n, f,
+                static_cast<unsigned long long>(cfg.seed), commits);
+  }
+
+  Experiment exp(cfg);
+  exp.start();
+  const bool reached = exp.run_until_commits(commits, horizon);
+
+  const auto& st = exp.network().stats();
+  const std::size_t decisions = exp.min_honest_commits();
+  std::uint64_t fallbacks = 0, fb_time = 0, fb_exits = 0;
+  for (ReplicaId id = 0; id < cfg.n; ++id) {
+    if (!exp.is_honest(id)) continue;
+    fallbacks += exp.replica(id).stats().fallbacks_entered;
+    fb_exits += exp.replica(id).stats().fallbacks_exited;
+    fb_time += exp.replica(id).stats().fallback_time_total_us;
+  }
+
+  std::printf("reached target     : %s\n", reached ? "yes" : "NO");
+  std::printf("decisions          : %zu\n", decisions);
+  std::printf("virtual time       : %.2f s\n", exp.sim().now() / 1e6);
+  if (decisions > 0) {
+    std::printf("throughput         : %.1f blocks/s\n", decisions / (exp.sim().now() / 1e6));
+    std::printf("msgs per decision  : %.1f\n", double(st.messages) / decisions);
+    std::printf("bytes per decision : %.1f\n", double(st.bytes) / decisions);
+  }
+  std::printf("total messages     : %llu (%llu bytes)\n",
+              static_cast<unsigned long long>(st.messages),
+              static_cast<unsigned long long>(st.bytes));
+  std::printf("fallbacks entered  : %llu", static_cast<unsigned long long>(fallbacks));
+  if (fb_exits > 0) std::printf(" (mean duration %.1f ms)", fb_time / 1000.0 / fb_exits);
+  std::printf("\n");
+
+  const SafetyReport safety = exp.check_safety();
+  std::printf("safety             : %s\n", safety.ok ? "OK" : safety.detail.c_str());
+  const InvariantReport inv = check_invariants(exp);
+  std::printf("structural lemmas  : %s\n",
+              inv.ok ? "OK" : inv.violations.front().c_str());
+  return (safety.ok && inv.ok) ? 0 : 1;
+}

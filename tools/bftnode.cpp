@@ -1,0 +1,134 @@
+// bftnode — run one replica of the cluster as a standalone process.
+//
+//   $ bftnode node0.conf
+//
+// Config file (key = value; see common/config_file.h):
+//
+//   id = 0                     # this node's replica id
+//   peer = 127.0.0.1:9000      # one line per replica, in id order
+//   peer = 127.0.0.1:9001
+//   peer = 127.0.0.1:9002
+//   peer = 127.0.0.1:9003
+//   seed = 7                   # cluster key seed — MUST match on all nodes
+//   protocol = fallback3       # fallback3 | fallback3adopt | fallback2 | diem
+//   timeout_ms = 300
+//   batch_bytes = 256
+//   wal = node0.wal            # optional: durable vote state
+//   report_ms = 1000           # status line interval (0 = quiet)
+//
+// Every node of a cluster must use the same `seed` and the same peer
+// list: the trusted-dealer keys are derived deterministically from the
+// seed (a real deployment would replace this with a DKG — see DESIGN.md).
+// Stop with SIGINT/SIGTERM; the committed count is printed on exit.
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "common/config_file.h"
+#include "core/diembft.h"
+#include "core/fallback.h"
+#include "transport/node.h"
+
+using namespace repro;
+using namespace repro::transport;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: bftnode <config-file>\n");
+    return 2;
+  }
+  std::string error;
+  auto cfg_file = ConfigFile::load(argv[1], &error);
+  if (!cfg_file) {
+    std::fprintf(stderr, "bftnode: %s\n", error.c_str());
+    return 2;
+  }
+
+  NodeConfig cfg;
+  cfg.id = static_cast<ReplicaId>(cfg_file->get_int("id", 0));
+  for (const std::string& peer : cfg_file->get_all("peer")) {
+    auto hp = parse_host_port(peer);
+    if (!hp) {
+      std::fprintf(stderr, "bftnode: bad peer address '%s'\n", peer.c_str());
+      return 2;
+    }
+    cfg.peers.push_back(PeerAddress{hp->host, hp->port});
+  }
+  if (cfg.peers.size() < 4 || cfg.id >= cfg.peers.size()) {
+    std::fprintf(stderr, "bftnode: need >= 4 peers and id < peer count (got %zu peers, id %u)\n",
+                 cfg.peers.size(), cfg.id);
+    return 2;
+  }
+
+  const auto n = static_cast<std::uint32_t>(cfg.peers.size());
+  const auto seed = static_cast<std::uint64_t>(cfg_file->get_int("seed", 7));
+  cfg.crypto = crypto::CryptoSystem::deal(QuorumParams::for_n(n), seed);
+  cfg.seed = seed * 1'000'003 + cfg.id;
+  cfg.pcfg.base_timeout_us = static_cast<SimTime>(cfg_file->get_int("timeout_ms", 300)) * 1000;
+  cfg.pcfg.batch_bytes = static_cast<std::size_t>(cfg_file->get_int("batch_bytes", 256));
+
+  std::unique_ptr<storage::FileWal> wal;
+  if (cfg_file->has("wal")) {
+    wal = std::make_unique<storage::FileWal>(cfg_file->get_str("wal", ""));
+    cfg.wal = wal.get();
+  }
+
+  const std::string protocol = cfg_file->get_str("protocol", "fallback3");
+  ReplicaFactory factory;
+  if (protocol == "diem") {
+    factory = [](const core::ReplicaContext& ctx) {
+      return std::make_unique<core::DiemBftReplica>(ctx);
+    };
+  } else {
+    core::FallbackParams fb;
+    if (protocol == "fallback3") {
+      fb.chain_len = 3;
+    } else if (protocol == "fallback3adopt") {
+      fb.chain_len = 3;
+      fb.adoption = true;
+    } else if (protocol == "fallback2") {
+      fb.chain_len = 2;
+    } else {
+      std::fprintf(stderr, "bftnode: unknown protocol '%s'\n", protocol.c_str());
+      return 2;
+    }
+    factory = [fb](const core::ReplicaContext& ctx) {
+      return std::make_unique<core::FallbackReplica>(ctx, fb);
+    };
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  TcpNode node(cfg, factory);
+  node.start();
+  std::printf("bftnode: replica %u/%u (%s) listening on %s:%u%s\n", cfg.id, n,
+              protocol.c_str(), cfg.peers[cfg.id].host.c_str(), cfg.peers[cfg.id].port,
+              wal ? ", WAL enabled" : "");
+
+  const auto report_ms = cfg_file->get_int("report_ms", 1000);
+  std::uint64_t last = 0;
+  while (!g_stop) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(report_ms > 0 ? report_ms : 250));
+    if (report_ms > 0) {
+      const std::uint64_t now = node.committed();
+      std::printf("committed=%llu (+%llu)\n", static_cast<unsigned long long>(now),
+                  static_cast<unsigned long long>(now - last));
+      std::fflush(stdout);
+      last = now;
+    }
+  }
+
+  node.stop();
+  std::printf("bftnode: stopped with %llu committed blocks\n",
+              static_cast<unsigned long long>(node.committed()));
+  return 0;
+}
