@@ -24,9 +24,17 @@ struct FallbackStats {
   std::uint64_t entered = 0;
   std::uint64_t exited = 0;
   std::uint64_t fallback_time_us = 0;  ///< summed enter->exit durations
+  std::uint64_t verify_hits = 0;       ///< certificate verifications answered by cache
+  std::uint64_t verify_misses = 0;     ///< full threshold verifications paid
 
   double mean_duration_ms() const {
     return exited ? double(fallback_time_us) / exited / 1000.0 : 0.0;
+  }
+
+  /// Factor by which the verified-certificate cache cuts full threshold
+  /// verifications: without it every lookup (hit + miss) would pay one.
+  double verify_reduction() const {
+    return verify_misses ? double(verify_hits + verify_misses) / verify_misses : 1.0;
   }
 };
 
@@ -57,6 +65,8 @@ FallbackStats measure(Protocol p, std::uint32_t n, int seeds, std::size_t commit
       agg.entered += exp.replica(id).stats().fallbacks_entered;
       agg.exited += exp.replica(id).stats().fallbacks_exited;
       agg.fallback_time_us += exp.replica(id).stats().fallback_time_total_us;
+      agg.verify_hits += exp.replica(id).stats().cert_verify_hits;
+      agg.verify_misses += exp.replica(id).stats().cert_verify_misses;
     }
   }
   return agg;
@@ -105,10 +115,30 @@ int main() {
   std::printf("\n--- fallback duration vs n (async adversary; O(n) message stages\n");
   std::printf("    but more straggler order-statistics as n grows) ------------\n\n");
   std::printf("    %-6s %18s %14s\n", "n", "mean duration ms", "fallbacks");
+  std::vector<std::pair<std::uint32_t, FallbackStats>> sweep;
   for (std::uint32_t n : {4u, 7u, 10u, 13u}) {
-    const FallbackStats st = measure(Protocol::kFallback3, n, 6, 4);
+    sweep.emplace_back(n, measure(Protocol::kFallback3, n, 6, 4));
+    const FallbackStats& st = sweep.back().second;
     std::printf("    %-6u %18.1f %14llu\n", n, st.mean_duration_ms(),
                 static_cast<unsigned long long>(st.exited));
+  }
+
+  std::printf("\n--- verified-certificate cache: full verifications avoided -----\n");
+  std::printf("    (the fallback floods each replica with n copies of every QC /\n");
+  std::printf("    f-TC / coin-QC; only the first copy pays the threshold math;\n");
+  std::printf("    Fig-2 rows reuse the duration-sweep runs above) ------------\n\n");
+  std::printf("    %-22s %-6s %12s %12s %12s %10s\n", "protocol", "n", "cache hits",
+              "full (miss)", "would-pay", "reduction");
+  auto print_cache_row = [](const char* label, std::uint32_t n, const FallbackStats& st) {
+    std::printf("    %-22s %-6u %12llu %12llu %12llu %9.1fx\n", label, n,
+                static_cast<unsigned long long>(st.verify_hits),
+                static_cast<unsigned long long>(st.verify_misses),
+                static_cast<unsigned long long>(st.verify_hits + st.verify_misses),
+                st.verify_reduction());
+  };
+  for (const auto& [n, st] : sweep) print_cache_row("fallback (Fig 2)", n, st);
+  for (std::uint32_t n : {4u, 7u, 10u}) {
+    print_cache_row("always-fallback", n, measure(Protocol::kAlwaysFallback, n, 6, 4));
   }
 
   std::printf("\n--- message breakdown of asynchronous operation (n=7) ----------\n\n");

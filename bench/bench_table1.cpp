@@ -45,6 +45,9 @@ Row run_cell(Protocol p, NetScenario s, std::uint32_t n, std::size_t target,
   row.n = n;
   row.decisions = decisions;
   row.live = decisions > 0;
+  // NetStats.messages/bytes exclude self-delivery (a multicast is n-1
+  // network messages), matching how the paper's Table 1 counts
+  // communication; the excluded traffic is in stats().self_messages.
   const auto& st = exp.network().stats();
   row.msgs_per_decision = decisions ? double(st.messages) / decisions : 0;
   row.bytes_per_decision = decisions ? double(st.bytes) / decisions : 0;

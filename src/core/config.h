@@ -38,6 +38,11 @@ struct ProtocolConfig {
   /// many consecutive rounds (4 in the paper — long enough to build a
   /// 3-chain and hand over).
   std::uint32_t leader_rotation = 4;
+
+  /// Capacity of the verified-certificate cache (LRU entries). Bounded so
+  /// a Byzantine flood of distinct valid certificates cannot grow replica
+  /// memory without limit; the working set of a view is far smaller.
+  std::size_t cert_cache_capacity = 1024;
 };
 
 /// The predefined leader sequence L_1, L_2, ... (rounds are 1-based).

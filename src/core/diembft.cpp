@@ -32,7 +32,7 @@ void DiemBftReplica::handle_message(ReplicaId from, smr::Message&& msg) {
   } else if (auto* t = std::get_if<smr::DiemTimeoutMsg>(&msg)) {
     handle_timeout(from, *t);
   } else if (auto* tc = std::get_if<smr::DiemTcMsg>(&msg)) {
-    if (verify_tc(crypto_sys(), tc->tc)) handle_tc(tc->tc);
+    if (cached_verify(tc->tc)) handle_tc(tc->tc);
   }
   // Fallback-protocol message types are ignored by the baseline.
 }
@@ -136,8 +136,8 @@ void DiemBftReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
   // Validity: well-formed regular block from the designated leader.
   if (!block.id_consistent() || block.height != 0 || block.view != 0) return;
   if (block.proposer != from || leader_of(block.round) != from) return;
-  if (!verify_certificate(crypto_sys(), block.parent)) return;
-  if (msg.tc && verify_tc(crypto_sys(), *msg.tc)) handle_tc(*msg.tc);
+  if (!cached_verify(block.parent)) return;
+  if (msg.tc && cached_verify(*msg.tc)) handle_tc(*msg.tc);
 
   const smr::Certificate parent = block.parent;
   const Round r = block.round;
@@ -179,6 +179,7 @@ void DiemBftReplica::handle_vote(ReplicaId from, const smr::VoteMsg& msg) {
   auto qc = smr::combine_certificate(crypto_sys(), smr::CertKind::kQuorum, msg.block_id,
                                      msg.round, 0, 0, 0, votes_.shares(key));
   if (!qc) return;
+  note_verified(*qc);  // combined from verified shares
   lock_step(*qc, msg.share.signer);
 }
 
@@ -187,9 +188,9 @@ void DiemBftReplica::handle_timeout(ReplicaId from, const smr::DiemTimeoutMsg& m
                                              smr::tc_signing_message(msg.round))) {
     return;
   }
-  // Catch up on the attached qc_high.
-  if (verify_certificate(crypto_sys(), msg.qc_high) &&
-      msg.qc_high.kind == smr::CertKind::kQuorum) {
+  // Catch up on the attached qc_high (kind-check first: it is free and
+  // skips the hash/verify work for non-QC certificates entirely).
+  if (msg.qc_high.kind == smr::CertKind::kQuorum && cached_verify(msg.qc_high)) {
     lock_step(msg.qc_high, from);
   }
 
@@ -197,6 +198,7 @@ void DiemBftReplica::handle_timeout(ReplicaId from, const smr::DiemTimeoutMsg& m
   if (timeout_shares_.add(msg.round, msg.round_share) < params().quorum()) return;
   auto tc = smr::combine_tc(crypto_sys(), msg.round, timeout_shares_.shares(msg.round));
   if (!tc) return;
+  note_verified(*tc);  // combined from verified shares
   highest_tc_formed_ = msg.round;
   handle_tc(*tc);
 }

@@ -86,7 +86,7 @@ void FallbackReplica::handle_message(ReplicaId from, smr::Message&& msg) {
   } else if (auto* cs = std::get_if<smr::CoinShareMsg>(&msg)) {
     handle_coin_share(*cs);
   } else if (auto* cq = std::get_if<smr::CoinQcMsg>(&msg)) {
-    if (verify_coin_qc(crypto_sys(), cq->qc)) process_coin(cq->qc);
+    if (cached_verify(cq->qc)) process_coin(cq->qc);
   }
   // DiemBFT pacemaker messages (kDiemTimeout / kDiemTc) are not part of
   // this protocol and are ignored.
@@ -196,7 +196,7 @@ void FallbackReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
   smr::Block& block = msg.block;
   if (!block.id_consistent() || block.height != 0) return;
   if (block.proposer != from || leader_of(block.round) != from) return;
-  if (!verify_certificate(crypto_sys(), block.parent)) return;
+  if (!cached_verify(block.parent)) return;
   install_attached_coins(msg.coins);
 
   const smr::Certificate parent = block.parent;
@@ -239,6 +239,7 @@ void FallbackReplica::handle_vote(const smr::VoteMsg& msg) {
   auto qc = smr::combine_certificate(crypto_sys(), smr::CertKind::kQuorum, msg.block_id,
                                      msg.round, msg.view, 0, 0, votes_.shares(key));
   if (!qc) return;
+  note_verified(*qc);  // combined from verified shares
   lock_full(*qc, msg.share.signer);
 }
 
@@ -280,13 +281,14 @@ void FallbackReplica::handle_fb_timeout(ReplicaId from, const smr::FbTimeoutMsg&
   }
   install_attached_coins(msg.coins);
   // "Upon receiving a valid timeout message, execute Lock" (on qc_high).
-  if (verify_certificate(crypto_sys(), msg.qc_high)) lock_full(msg.qc_high, from);
+  if (cached_verify(msg.qc_high)) lock_full(msg.qc_high, from);
 
   if (msg.view < v_cur_) return;  // stale view; shares cannot help anymore
   if (any_ftc_formed_ && msg.view <= highest_ftc_formed_) return;
   if (view_timeout_shares_.add(msg.view, msg.view_share) < params().quorum()) return;
   auto ftc = smr::combine_ftc(crypto_sys(), msg.view, view_timeout_shares_.shares(msg.view));
   if (!ftc) return;
+  note_verified(*ftc);  // combined from verified shares
   highest_ftc_formed_ = msg.view;
   any_ftc_formed_ = true;
   handle_ftc(*ftc);
@@ -374,12 +376,12 @@ void FallbackReplica::handle_fb_proposal(ReplicaId from, smr::FbProposalMsg&& ms
   if (!block.id_consistent()) return;
   if (block.height < 1 || block.height > fb_.chain_len) return;
   if (block.proposer != from) return;
-  if (!verify_certificate(crypto_sys(), block.parent)) return;
+  if (!cached_verify(block.parent)) return;
   install_attached_coins(msg.coins);
 
   // An attached valid f-TC can pull us into the fallback (Enter Fallback
   // triggers on receiving an f-TC from any message).
-  if (msg.ftc && verify_ftc(crypto_sys(), *msg.ftc)) handle_ftc(*msg.ftc);
+  if (msg.ftc && cached_verify(*msg.ftc)) handle_ftc(*msg.ftc);
 
   const smr::Certificate parent = block.parent;
   const FallbackHeight h = block.height;
@@ -404,8 +406,8 @@ void FallbackReplica::handle_fb_proposal(ReplicaId from, smr::FbProposalMsg&& ms
     // qc.rank >= rank_lock, r == qc.r + 1. (The always-fallback baseline
     // has no timeouts, hence no f-TC to check.)
     const bool ftc_ok =
-        fb_.always_fallback || (msg.ftc && verify_ftc(crypto_sys(), *msg.ftc) &&
-                                msg.ftc->view == v_cur_);
+        fb_.always_fallback ||
+        (msg.ftc && cached_verify(*msg.ftc) && msg.ftc->view == v_cur_);
     if (!ftc_ok) return;
     if (parent.kind == smr::CertKind::kFallback && !is_endorsed(parent)) return;
     if (rank_of(parent) < rank_lock()) return;
@@ -451,6 +453,7 @@ void FallbackReplica::handle_fb_vote(const smr::FbVoteMsg& msg) {
       smr::combine_certificate(crypto_sys(), smr::CertKind::kFallback, msg.block_id,
                                msg.round, msg.view, msg.height, id(), fb_votes_.shares(key));
   if (!fqc) return;
+  note_verified(*fqc);  // combined from verified shares
   note_fallback_qc(*fqc, id());
 
   // ---- Fallback Propose (Fig 2) ----
@@ -494,7 +497,7 @@ void FallbackReplica::note_fallback_qc(const smr::Certificate& fqc, ReplicaId hi
 void FallbackReplica::handle_fb_qc(ReplicaId from, const smr::FbQcMsg& msg) {
   const smr::Certificate& fqc = msg.fqc;
   if (fqc.kind != smr::CertKind::kFallback || fqc.height != fb_.chain_len) return;
-  if (!verify_certificate(crypto_sys(), fqc)) return;
+  if (!cached_verify(fqc)) return;
   if (fqc.view != v_cur_) return;
   note_fallback_qc(fqc, from);
 
@@ -524,10 +527,16 @@ void FallbackReplica::maybe_trigger_election() {
 
 void FallbackReplica::handle_coin_share(const smr::CoinShareMsg& msg) {
   if (msg.view < v_cur_) return;
+  // Honest replicas only share the coin of a view whose fallback they are
+  // in, so anything far ahead of us is Byzantine pool-stuffing: without a
+  // horizon the coin_shares_ pool grows without bound between prunes.
+  if (msg.view > v_cur_ + kCoinViewHorizon) return;
   if (!crypto_sys().coin.verify_coin_share(msg.share, msg.view)) return;
   if (coin_shares_.add(msg.view, msg.share) < params().coin_quorum()) return;
   auto coin = smr::combine_coin_qc(crypto_sys(), msg.view, coin_shares_.shares(msg.view));
-  if (coin) process_coin(*coin);
+  if (!coin) return;
+  note_verified(*coin);  // combined from verified shares
+  process_coin(*coin);
 }
 
 void FallbackReplica::process_coin(const smr::CoinQC& coin) {
@@ -587,7 +596,7 @@ std::vector<smr::CoinQC> FallbackReplica::evidence_for(const smr::Certificate& c
 
 void FallbackReplica::install_attached_coins(const std::vector<smr::CoinQC>& coins) {
   for (const auto& c : coins) {
-    if (verify_coin_qc(crypto_sys(), c)) process_coin(c);
+    if (cached_verify(c)) process_coin(c);
   }
 }
 

@@ -40,6 +40,12 @@ struct FallbackParams {
 
 class FallbackReplica final : public ReplicaBase {
  public:
+  /// Coin shares for views beyond v_cur + this horizon are rejected:
+  /// honest replicas never run that far ahead, and accepting them would
+  /// let a Byzantine replica grow coin_shares_ without bound between
+  /// prunes (prune_stale_pools only drops *past* views).
+  static constexpr View kCoinViewHorizon = 8;
+
   FallbackReplica(const ReplicaContext& ctx, FallbackParams fb);
 
   void start() override;

@@ -53,6 +53,11 @@ struct ReplicaStats {
   /// Total simulated time spent inside fallbacks (enter -> exit), summed
   /// over completed fallbacks. Mean duration = total / fallbacks_exited.
   std::uint64_t fallback_time_total_us = 0;
+  /// Verified-certificate cache: hits avoided a full threshold
+  /// verification; misses performed one. Covers QCs/f-QCs, TCs, f-TCs
+  /// and coin-QCs routed through the cached verify path.
+  std::uint64_t cert_verify_hits = 0;
+  std::uint64_t cert_verify_misses = 0;
 };
 
 class IReplica {

@@ -15,9 +15,41 @@ ReplicaBase::ReplicaBase(const ReplicaContext& ctx)
       mempool_(ctx.id, ctx.config.batch_bytes, Rng(ctx.seed ^ 0x6d656d706f6f6cull)),
       on_block_born_(ctx.on_block_born),
       payload_source_(ctx.payload_source),
-      wal_(ctx.wal) {
+      wal_(ctx.wal),
+      vcache_(ctx.config.cert_cache_capacity) {
   REPRO_ASSERT(sim_ != nullptr && net_ != nullptr && crypto_ != nullptr);
   qc_high_ = smr::genesis_certificate();
+}
+
+bool ReplicaBase::cached_verify(const smr::Certificate& cert) {
+  const bool ok = smr::verify_certificate(*crypto_, vcache_, cert);
+  // Genesis short-circuits before the cache; don't let it skew counters.
+  if (cert.kind != smr::CertKind::kGenesis) {
+    stats_.cert_verify_hits = vcache_.stats().hits;
+    stats_.cert_verify_misses = vcache_.stats().misses;
+  }
+  return ok;
+}
+
+bool ReplicaBase::cached_verify(const smr::TimeoutCert& tc) {
+  const bool ok = smr::verify_tc(*crypto_, vcache_, tc);
+  stats_.cert_verify_hits = vcache_.stats().hits;
+  stats_.cert_verify_misses = vcache_.stats().misses;
+  return ok;
+}
+
+bool ReplicaBase::cached_verify(const smr::FallbackTC& ftc) {
+  const bool ok = smr::verify_ftc(*crypto_, vcache_, ftc);
+  stats_.cert_verify_hits = vcache_.stats().hits;
+  stats_.cert_verify_misses = vcache_.stats().misses;
+  return ok;
+}
+
+bool ReplicaBase::cached_verify(const smr::CoinQC& qc) {
+  const bool ok = smr::verify_coin_qc(*crypto_, vcache_, qc);
+  stats_.cert_verify_hits = vcache_.stats().hits;
+  stats_.cert_verify_misses = vcache_.stats().misses;
+  return ok;
 }
 
 void ReplicaBase::persist_vote_state() {

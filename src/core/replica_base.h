@@ -84,6 +84,9 @@ class ReplicaBase : public IReplica {
   /// Whether construction restored a WAL snapshot.
   bool recovered() const { return recovered_; }
   bool halted() const { return halted_; }
+  /// Verified-certificate cache occupancy (tests pin its bound).
+  std::size_t cert_cache_size() const { return vcache_.size(); }
+  std::size_t cert_cache_capacity() const { return vcache_.capacity(); }
 
  protected:
   /// Commit-rule chain length: 3 for the paper's base protocols, 2 for
@@ -100,6 +103,24 @@ class ReplicaBase : public IReplica {
   // Messaging ----------------------------------------------------------
   void send(ReplicaId to, smr::Message msg);
   void multicast(smr::Message msg);
+
+  // Cached certificate verification --------------------------------------
+  // Equivalent to the free verify_* functions but routed through the
+  // replica's verified-certificate cache: each distinct certificate pays
+  // the full threshold verification once; repeats (the fallback floods n
+  // copies of every QC/f-TC/coin-QC) are digest lookups. Successful
+  // verifications and self-combined certificates populate the cache;
+  // failures are never cached. Counters land in stats().cert_verify_*.
+  bool cached_verify(const smr::Certificate& cert);
+  bool cached_verify(const smr::TimeoutCert& tc);
+  bool cached_verify(const smr::FallbackTC& ftc);
+  bool cached_verify(const smr::CoinQC& qc);
+
+  /// Insert a certificate we built ourselves from verified shares.
+  template <typename Cert>
+  void note_verified(const Cert& cert) {
+    smr::note_verified(vcache_, cert);
+  }
 
   // Ranking / endorsement ----------------------------------------------
   /// An f-QC is endorsed iff we know a coin-QC of its view electing its
@@ -223,6 +244,7 @@ class ReplicaBase : public IReplica {
   storage::Wal* wal_ = nullptr;
   bool recovered_ = false;
   bool halted_ = false;
+  crypto::VerifierCache vcache_;
 
   std::map<View, smr::CoinQC> coins_;
   std::unordered_set<smr::BlockId, smr::BlockIdHash> outstanding_fetches_;

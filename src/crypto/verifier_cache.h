@@ -1,0 +1,100 @@
+// Verified-certificate cache: remembers which threshold signatures have
+// already passed full verification, so the message hot path pays the
+// Lagrange/field recomputation only once per distinct certificate.
+//
+// The fallback floods all n replicas with the *same* QCs, f-QCs, f-TCs
+// and coin-QCs (every timeout carries qc_high, every top f-QC is
+// re-multicast by every replica), so without a cache each replica pays
+// O(n) identical threshold verifications per certificate. HotStuff-family
+// implementations treat QC-verification caching as a standard hot-path
+// optimization; this is ours.
+//
+// Safety argument (see docs/PROTOCOL.md §7): entries are keyed by a
+// collision-resistant digest computed over the *exact bytes that full
+// verification would check* — the domain-separated signing message plus
+// the combined signature value. A hit therefore implies that a prior call
+// fully verified a certificate with byte-identical content; any mutation
+// of the message fields or of the signature changes the key and misses.
+// Only *successful* verifications are inserted, so a flood of invalid
+// certificates cannot populate (or poison) the cache, and the LRU bound
+// keeps a flood of valid-but-distinct certificates from growing it
+// without limit.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "crypto/sha256.h"
+
+namespace repro::crypto {
+
+/// Bounded LRU set of verification-key digests. Single-threaded, like
+/// everything else a replica owns.
+class VerifierCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  /// Observable counters. hits + misses counts every cached-verify call
+  /// that had to consult the cache; misses equals the number of *full*
+  /// threshold verifications actually performed through it.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  explicit VerifierCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// True iff `key` was previously inserted (i.e. verified). Refreshes
+  /// the entry's LRU position and counts a hit or a miss.
+  bool check(const Digest& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return false;
+    }
+    ++stats_.hits;
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+
+  /// Record that the certificate behind `key` verified (either by a full
+  /// verification after a miss, or because we combined it ourselves from
+  /// verified shares). Evicts the least-recently-used entry at capacity.
+  void insert(const Digest& key) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (index_.size() >= capacity_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+      ++stats_.evictions;
+    }
+    order_.push_front(key);
+    index_.emplace(key, order_.begin());
+    ++stats_.insertions;
+  }
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct DigestHash {
+    std::size_t operator()(const Digest& d) const {
+      return static_cast<std::size_t>(digest_prefix_u64(d));
+    }
+  };
+
+  std::size_t capacity_;
+  std::list<Digest> order_;  ///< most-recently-used first
+  std::unordered_map<Digest, std::list<Digest>::iterator, DigestHash> index_;
+  Stats stats_;
+};
+
+}  // namespace repro::crypto

@@ -17,14 +17,23 @@ void Network::register_handler(ReplicaId id, Handler handler) {
 
 void Network::deliver_after(SimTime delay, ReplicaId from, ReplicaId to, Bytes payload) {
   sim_.schedule_after(delay, [this, from, to, payload = std::move(payload)]() {
-    ++delivered_;
-    if (handlers_[to]) handlers_[to](from, payload);
+    // delivered() is a processing metric: count only payloads that actually
+    // reach a handler, so drain checks don't see phantom deliveries for
+    // replicas that were never registered.
+    if (handlers_[to]) {
+      ++delivered_;
+      handlers_[to](from, payload);
+    }
   });
 }
 
 void Network::send(ReplicaId from, ReplicaId to, Bytes payload) {
   REPRO_ASSERT(from < handlers_.size() && to < handlers_.size());
   if (from == to) {
+    // Free per the accounting policy (see NetStats), but tallied so the
+    // exclusion shows up in dumps instead of silently undercounting.
+    stats_.self_messages += 1;
+    stats_.self_bytes += payload.size();
     deliver_after(0, from, to, std::move(payload));
     return;
   }

@@ -25,12 +25,24 @@
 
 namespace repro::net {
 
-/// Cumulative traffic counters. Self-delivery (a replica processing its
-/// own multicast) is free and not counted, matching how the literature
-/// counts communication complexity.
+/// Cumulative traffic counters.
+///
+/// Accounting policy (explicit — the complexity benches depend on it):
+///  * `messages` / `bytes` / `*_by_type` count **network** messages only.
+///    Self-delivery (a replica processing its own multicast) is free and
+///    excluded, matching how the literature counts communication
+///    complexity — a multicast from one of n replicas is n-1 messages.
+///  * Self-deliveries are tallied separately in `self_messages` /
+///    `self_bytes`, so the exclusion is visible rather than silent.
+///  * `Network::delivered()` counts handler invocations (self-deliveries
+///    included, undeliverable payloads excluded) — a processing metric
+///    for drain/quiescence checks, not a traffic metric.
 struct NetStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  /// Self-deliveries, excluded from `messages`/`bytes` per the policy.
+  std::uint64_t self_messages = 0;
+  std::uint64_t self_bytes = 0;
   /// Indexed by the message-type tag (first byte of the payload).
   std::array<std::uint64_t, 32> messages_by_type{};
   std::array<std::uint64_t, 32> bytes_by_type{};
@@ -39,6 +51,8 @@ struct NetStats {
     NetStats d;
     d.messages = messages - o.messages;
     d.bytes = bytes - o.bytes;
+    d.self_messages = self_messages - o.self_messages;
+    d.self_bytes = self_bytes - o.self_bytes;
     for (std::size_t i = 0; i < messages_by_type.size(); ++i) {
       d.messages_by_type[i] = messages_by_type[i] - o.messages_by_type[i];
       d.bytes_by_type[i] = bytes_by_type[i] - o.bytes_by_type[i];

@@ -37,18 +37,35 @@ void write_le32(std::uint8_t* p, std::uint32_t v) {
   p[3] = std::uint8_t(v >> 24);
 }
 
-/// Write everything or fail (localhost frames are small; blocking writes
-/// from the single node thread keep the implementation lock-free).
-bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+/// Hard cap on connections parked in conns_ awaiting their hello. Together
+/// with the hello deadline this bounds what an accept flood can pin: at
+/// most this many fds, each for at most hello_timeout.
+constexpr std::size_t kMaxPendingHellos = 64;
+
+/// Write everything or fail (blocking writes from the single node thread
+/// keep the implementation lock-free). A full socket buffer only means
+/// the peer is momentarily slow — keep retrying until `budget_us` of wall
+/// time is spent; a single timed-out poll() is not grounds for tearing
+/// the connection down.
+bool write_all(int fd, const std::uint8_t* data, std::size_t len, SimTime budget_us) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(budget_us);
   std::size_t done = 0;
   while (done < len) {
     const ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && (errno == EINTR)) continue;
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        // Socket buffer full: briefly block until writable.
+        const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+        if (remaining.count() <= 0) return false;  // stall outlived the budget
+        // Socket buffer full: block until writable, in bounded slices so a
+        // wedged peer cannot hold the node thread past the budget.
         pollfd pfd{fd, POLLOUT, 0};
-        if (::poll(&pfd, 1, 1000) > 0) continue;
+        const int slice_ms = static_cast<int>(
+            std::min<std::chrono::milliseconds::rep>(remaining.count(), 100));
+        ::poll(&pfd, 1, slice_ms);
+        continue;
       }
       return false;
     }
@@ -128,8 +145,9 @@ class TcpNode::TcpNetwork final : public net::INetwork {
     if (it == node_.fd_of_peer_.end()) return;  // down; reconnect in progress
     std::uint8_t header[4];
     write_le32(header, static_cast<std::uint32_t>(payload.size()));
-    if (!write_all(it->second, header, 4) ||
-        !write_all(it->second, payload.data(), payload.size())) {
+    const SimTime budget = node_.write_budget_us();
+    if (!write_all(it->second, header, 4, budget) ||
+        !write_all(it->second, payload.data(), payload.size(), budget)) {
       node_.close_peer(it->second);
     }
   }
@@ -209,7 +227,7 @@ void TcpNode::try_connect(ReplicaId peer) {
   // Hello: our replica id, so the acceptor can map the connection.
   std::uint8_t hello[4];
   write_le32(hello, cfg_.id);
-  if (!write_all(fd, hello, 4)) {
+  if (!write_all(fd, hello, 4, write_budget_us())) {
     ::close(fd);
     executor_.schedule_after(cfg_.reconnect_interval, [this, peer] { try_connect(peer); });
     return;
@@ -234,6 +252,22 @@ void TcpNode::close_peer(int fd) {
   }
 }
 
+SimTime TcpNode::write_budget_us() const {
+  if (cfg_.write_stall_timeout != 0) return cfg_.write_stall_timeout;
+  return std::max<SimTime>(1'000'000, 5 * cfg_.reconnect_interval);
+}
+
+void TcpNode::sweep_half_open() {
+  const SimTime now = executor_.now();
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn.peer == kUnknownPeer && now - conn.accepted_at > cfg_.hello_timeout) {
+      expired.push_back(fd);
+    }
+  }
+  for (int fd : expired) close_peer(fd);
+}
+
 void TcpNode::on_frame(ReplicaId from, Bytes payload) {
   if (replica_) replica_->on_message(from, payload);
 }
@@ -256,7 +290,10 @@ void TcpNode::handle_readable(int fd) {
     return;
   }
 
-  // Hello first on accepted connections.
+  // Hello first on accepted connections. Identification is attempted on
+  // every read, so an unidentified conn buffers at most 3 bytes across
+  // calls — half-open peers cannot grow inbox memory, and the hello
+  // deadline (sweep_half_open) bounds how long they hold the fd slot.
   if (conn.peer == kUnknownPeer) {
     if (conn.inbox.size() < 4) return;
     const ReplicaId peer = read_le32(conn.inbox.data());
@@ -334,10 +371,20 @@ void TcpNode::run_loop() {
       for (;;) {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) break;
+        std::size_t pending = 0;
+        for (const auto& [cfd, conn] : conns_) {
+          if (conn.peer == kUnknownPeer) ++pending;
+        }
+        if (pending >= kMaxPendingHellos) {
+          // Accept flood: refuse rather than pin more fds. A legitimate
+          // peer re-dials via its reconnect timer.
+          ::close(fd);
+          continue;
+        }
         const int one = 1;
         setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
         set_nonblocking(fd);
-        conns_[fd] = Conn{kUnknownPeer, {}};
+        conns_[fd] = Conn{kUnknownPeer, {}, executor_.now()};
       }
     }
     // Collect ready fds first: handle_readable can mutate conns_.
@@ -346,6 +393,7 @@ void TcpNode::run_loop() {
       if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) readable.push_back(pfds[i].fd);
     }
     for (int fd : readable) handle_readable(fd);
+    sweep_half_open();
 
     executor_.run_due();
   }

@@ -84,6 +84,15 @@ struct NodeConfig {
   storage::Wal* wal = nullptr;  ///< optional crash-recovery log
   /// Delay between reconnect attempts to a down peer (microseconds).
   SimTime reconnect_interval = 200'000;
+  /// Total budget for one blocking frame write before the peer is torn
+  /// down (microseconds). A full socket buffer is a transient condition
+  /// under load — only a stall spanning several reconnect intervals
+  /// indicates a dead peer. 0 derives max(1s, 5 * reconnect_interval).
+  SimTime write_stall_timeout = 0;
+  /// Accepted connections must complete the 4-byte hello within this
+  /// budget (microseconds) or they are closed; otherwise half-open
+  /// connections would hold conns_ slots (and fds) forever.
+  SimTime hello_timeout = 2'000'000;
 };
 
 /// Builds the protocol instance for a node. Lets the transport host any
@@ -123,6 +132,11 @@ class TcpNode {
   void handle_readable(int fd);
   void close_peer(int fd);
   void on_frame(ReplicaId from, Bytes payload);
+  /// Close accepted connections that have not identified themselves
+  /// within cfg_.hello_timeout.
+  void sweep_half_open();
+  /// Effective write_all budget in microseconds (see NodeConfig).
+  SimTime write_budget_us() const;
 
   NodeConfig cfg_;
   ReplicaFactory factory_;
@@ -139,6 +153,7 @@ class TcpNode {
   struct Conn {
     ReplicaId peer = UINT32_MAX;  ///< UINT32_MAX until the hello arrives
     Bytes inbox;                  ///< partial-frame read buffer
+    SimTime accepted_at = 0;      ///< executor time at accept (hello deadline)
   };
   std::map<int, Conn> conns_;               ///< fd -> connection state
   std::map<ReplicaId, int> fd_of_peer_;     ///< established, post-hello

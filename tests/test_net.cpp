@@ -49,7 +49,10 @@ TEST(Network, SelfSendIsImmediateAndFree) {
   rig.sim.run();
   ASSERT_EQ(rig.log.size(), 1u);
   EXPECT_EQ(rig.log[0].at, 0u);
-  EXPECT_EQ(rig.net->stats().messages, 0u);  // self-delivery not counted
+  EXPECT_EQ(rig.net->stats().messages, 0u);  // self-delivery not counted...
+  EXPECT_EQ(rig.net->stats().bytes, 0u);
+  EXPECT_EQ(rig.net->stats().self_messages, 1u);  // ...but tallied separately
+  EXPECT_EQ(rig.net->stats().self_bytes, 1u);
 }
 
 TEST(Network, MulticastReachesAllIncludingSender) {
@@ -57,9 +60,41 @@ TEST(Network, MulticastReachesAllIncludingSender) {
   rig.net->multicast(2, Bytes{7});
   rig.sim.run();
   EXPECT_EQ(rig.log.size(), 4u);
-  // n-1 network messages counted (self-delivery free).
+  // n-1 network messages counted (self-delivery free but tallied).
   EXPECT_EQ(rig.net->stats().messages, 3u);
   EXPECT_EQ(rig.net->stats().bytes, 3u);
+  EXPECT_EQ(rig.net->stats().self_messages, 1u);
+  EXPECT_EQ(rig.net->stats().self_bytes, 1u);
+  EXPECT_EQ(rig.net->delivered(), 4u);  // processing metric includes self
+}
+
+TEST(Network, DeliveredCountsOnlyHandledPayloads) {
+  // A payload addressed to a replica with no registered handler must not
+  // inflate delivered(): it is a traffic event, not a processing event.
+  sim::Simulation sim;
+  Network net(sim, 2, std::make_unique<FixedDelayModel>(10), Rng(77));
+  int handled = 0;
+  net.register_handler(0, [&handled](ReplicaId, const Bytes&) { ++handled; });
+  // Handler for replica 1 intentionally not registered.
+  net.send(0, 1, Bytes{1});
+  net.send(1, 0, Bytes{2});
+  net.send(1, 1, Bytes{3});  // self-send into the void
+  sim.run();
+  EXPECT_EQ(handled, 1);
+  EXPECT_EQ(net.delivered(), 1u);
+  EXPECT_EQ(net.stats().messages, 2u);  // traffic counted regardless
+  EXPECT_EQ(net.stats().self_messages, 1u);
+}
+
+TEST(Network, StatsDeltaCoversSelfCounters) {
+  Rig rig(2, std::make_unique<FixedDelayModel>(1));
+  rig.net->send(0, 0, Bytes{1, 2});
+  const NetStats before = rig.net->stats();
+  rig.net->send(1, 1, Bytes{1, 2, 3});
+  const NetStats delta = rig.net->stats() - before;
+  EXPECT_EQ(delta.self_messages, 1u);
+  EXPECT_EQ(delta.self_bytes, 3u);
+  EXPECT_EQ(delta.messages, 0u);
 }
 
 TEST(Network, StatsCountByTypeTag) {

@@ -26,7 +26,8 @@ struct NodeRig {
   std::unique_ptr<TcpNode> node;
   std::uint16_t port;
 
-  explicit NodeRig(int offset) : port(framing_port(offset)) {
+  explicit NodeRig(int offset, SimTime hello_timeout = 2'000'000)
+      : port(framing_port(offset)) {
     // A 4-peer cluster where only replica 0 actually runs; the test
     // socket impersonates replica 3 (3 > 0, so it dials us — matching the
     // connection convention).
@@ -40,6 +41,7 @@ struct NodeRig {
     cfg.crypto = crypto_sys;
     cfg.seed = 1;
     cfg.pcfg.base_timeout_us = 200'000;
+    cfg.hello_timeout = hello_timeout;
     node = std::make_unique<TcpNode>(cfg, [](const core::ReplicaContext& ctx) {
       return std::make_unique<core::FallbackReplica>(ctx, core::FallbackParams{});
     });
@@ -151,6 +153,41 @@ TEST(TcpFraming, AbruptDisconnectDoesNotWedgeNode) {
   // Node still accepts and serves a well-behaved session afterwards.
   const int fd = rig.connect_raw();
   NodeRig::send_all(fd, rig.hello_and_message());
+  EXPECT_TRUE(NodeRig::reply_arrives(fd));
+  ::close(fd);
+}
+
+TEST(TcpFraming, HalfOpenConnectionIsReapedAfterHelloDeadline) {
+  // A connection that never completes the 4-byte hello must not hold a
+  // conns_ slot forever: the node closes it once hello_timeout passes.
+  NodeRig rig(6, /*hello_timeout=*/200'000);  // 200 ms
+  const int fd = rig.connect_raw();
+  NodeRig::send_all(fd, Bytes{3});  // one byte of hello, then stall
+  std::uint8_t buf[16];
+  timeval tv{2, 0};
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);  // EOF: node reaped us
+  ::close(fd);
+
+  // A well-behaved session that completes the hello promptly still works.
+  const int good = rig.connect_raw();
+  NodeRig::send_all(good, rig.hello_and_message());
+  EXPECT_TRUE(NodeRig::reply_arrives(good));
+  ::close(good);
+}
+
+TEST(TcpFraming, PromptHelloIsNotReaped) {
+  // The deadline applies only to unidentified connections: an identified
+  // peer idling past hello_timeout stays connected.
+  NodeRig rig(7, /*hello_timeout=*/200'000);
+  const int fd = rig.connect_raw();
+  NodeRig::send_all(fd, NodeRig::le32(3));  // complete hello immediately
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));  // idle past deadline
+  smr::Message msg = smr::BlockRequestMsg{smr::genesis_id(), 4};
+  const Bytes wire = smr::encode_message(msg);
+  Bytes follow = NodeRig::le32(static_cast<std::uint32_t>(wire.size()));
+  follow.insert(follow.end(), wire.begin(), wire.end());
+  NodeRig::send_all(fd, follow);
   EXPECT_TRUE(NodeRig::reply_arrives(fd));
   ::close(fd);
 }

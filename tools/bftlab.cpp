@@ -150,11 +150,14 @@ int main(int argc, char** argv) {
   const auto& st = exp.network().stats();
   const std::size_t decisions = exp.min_honest_commits();
   std::uint64_t fallbacks = 0, fb_time = 0, fb_exits = 0;
+  std::uint64_t vhits = 0, vmiss = 0;
   for (ReplicaId id = 0; id < cfg.n; ++id) {
     if (!exp.is_honest(id)) continue;
     fallbacks += exp.replica(id).stats().fallbacks_entered;
     fb_exits += exp.replica(id).stats().fallbacks_exited;
     fb_time += exp.replica(id).stats().fallback_time_total_us;
+    vhits += exp.replica(id).stats().cert_verify_hits;
+    vmiss += exp.replica(id).stats().cert_verify_misses;
   }
 
   std::printf("reached target     : %s\n", reached ? "yes" : "NO");
@@ -168,6 +171,14 @@ int main(int argc, char** argv) {
   std::printf("total messages     : %llu (%llu bytes)\n",
               static_cast<unsigned long long>(st.messages),
               static_cast<unsigned long long>(st.bytes));
+  std::printf("self-delivery      : %llu msgs (%llu bytes), excluded from totals\n",
+              static_cast<unsigned long long>(st.self_messages),
+              static_cast<unsigned long long>(st.self_bytes));
+  std::printf("cert verifications : %llu full, %llu cache hits",
+              static_cast<unsigned long long>(vmiss),
+              static_cast<unsigned long long>(vhits));
+  if (vmiss > 0) std::printf(" (%.1fx fewer full verifies)", double(vhits + vmiss) / vmiss);
+  std::printf("\n");
   std::printf("fallbacks entered  : %llu", static_cast<unsigned long long>(fallbacks));
   if (fb_exits > 0) std::printf(" (mean duration %.1f ms)", fb_time / 1000.0 / fb_exits);
   std::printf("\n");
