@@ -1,0 +1,76 @@
+// Minimal NDJSON emitter for bench acceptance artifacts: each bench
+// appends one self-describing JSON object per line to the path given via
+// `--json <path>`, so CI can run several benches against the same file
+// and diff the numbers across commits. No external JSON dependency —
+// benches emit flat objects of numbers and short names only.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace repro::bench {
+
+/// `argv`-style lookup of `--json <path>`; nullptr when absent.
+inline const char* json_path_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return nullptr;
+}
+
+class JsonLine {
+ public:
+  explicit JsonLine(const char* bench) { field_str("bench", bench); }
+
+  JsonLine& field_str(const char* key, const std::string& value) {
+    sep();
+    body_ += '"';
+    body_ += key;
+    body_ += "\":\"";
+    body_ += value;
+    body_ += '"';
+    return *this;
+  }
+
+  JsonLine& field(const char* key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return raw(key, buf);
+  }
+
+  JsonLine& field(const char* key, std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+    return raw(key, buf);
+  }
+
+  /// Append as one NDJSON line; no-op when `path` is nullptr.
+  void append_to(const char* path) const {
+    if (path == nullptr) return;
+    std::FILE* f = std::fopen(path, "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s for append\n", path);
+      return;
+    }
+    std::fprintf(f, "{%s}\n", body_.c_str());
+    std::fclose(f);
+  }
+
+ private:
+  JsonLine& raw(const char* key, const char* value) {
+    sep();
+    body_ += '"';
+    body_ += key;
+    body_ += "\":";
+    body_ += value;
+    return *this;
+  }
+
+  void sep() {
+    if (!body_.empty()) body_ += ',';
+  }
+
+  std::string body_;
+};
+
+}  // namespace repro::bench

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -11,6 +12,15 @@ namespace repro {
 
 using Bytes = std::vector<std::uint8_t>;
 using BytesView = std::span<const std::uint8_t>;
+
+/// Refcounted immutable payload: one serialized message buffer shared by
+/// every recipient of a multicast (and by the sender's own delivery), so
+/// the data path never deep-copies wire bytes per recipient.
+using SharedBytes = std::shared_ptr<const Bytes>;
+
+inline SharedBytes make_shared_bytes(Bytes&& data) {
+  return std::make_shared<const Bytes>(std::move(data));
+}
 
 /// Lower-case hex encoding ("deadbeef").
 std::string to_hex(BytesView data);

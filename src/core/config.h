@@ -43,6 +43,12 @@ struct ProtocolConfig {
   /// a Byzantine flood of distinct valid certificates cannot grow replica
   /// memory without limit; the working set of a view is far smaller.
   std::size_t cert_cache_capacity = 1024;
+
+  /// Capacity of the decode-once delivery cache (LRU entries), bounded
+  /// for the same reason as the certificate cache. Only consulted when a
+  /// replica constructs its own cache; harness-shared caches size
+  /// themselves.
+  std::size_t decode_cache_capacity = 1024;
 };
 
 /// The predefined leader sequence L_1, L_2, ... (rounds are 1-based).

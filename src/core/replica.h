@@ -12,6 +12,7 @@
 #include "crypto/dealer.h"
 #include "net/network.h"
 #include "sim/simulation.h"
+#include "smr/decode_cache.h"
 #include "smr/ledger.h"
 #include "storage/wal.h"
 
@@ -40,6 +41,12 @@ struct ReplicaContext {
   /// durable before every vote/proposal and recovers it at construction,
   /// so a crash + restart can never make it equivocate. Not owned.
   storage::Wal* wal = nullptr;
+
+  /// Decode-once delivery cache. The harness shares one instance across
+  /// all replicas of a simulation (they receive the same broadcast bytes,
+  /// so one decode serves n deliveries); when unset the replica builds a
+  /// private cache of config.decode_cache_capacity entries.
+  std::shared_ptr<smr::DecodeCache> decode_cache;
 };
 
 /// Observable per-replica protocol counters (for experiments and tests).
@@ -58,6 +65,17 @@ struct ReplicaStats {
   /// and coin-QCs routed through the cached verify path.
   std::uint64_t cert_verify_hits = 0;
   std::uint64_t cert_verify_misses = 0;
+  /// Decode-once delivery cache, counted per delivery at this replica: a
+  /// hit reused an already-decoded message (no parse), a miss ran a full
+  /// decode_message. With the harness-shared cache, one multicast costs
+  /// one miss across all n replicas (the sender's encode pre-populates).
+  std::uint64_t decode_hits = 0;
+  std::uint64_t decode_misses = 0;
+  /// Serializations performed by this replica's multicast() calls. The
+  /// zero-copy data path encodes exactly once per multicast, so summed
+  /// over replicas this equals NetStats::multicasts (the benches print
+  /// the ratio as serializations/multicast = 1).
+  std::uint64_t multicast_encodes = 0;
 };
 
 class IReplica {

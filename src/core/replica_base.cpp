@@ -16,7 +16,10 @@ ReplicaBase::ReplicaBase(const ReplicaContext& ctx)
       on_block_born_(ctx.on_block_born),
       payload_source_(ctx.payload_source),
       wal_(ctx.wal),
-      vcache_(ctx.config.cert_cache_capacity) {
+      vcache_(ctx.config.cert_cache_capacity),
+      dcache_(ctx.decode_cache
+                  ? ctx.decode_cache
+                  : std::make_shared<smr::DecodeCache>(ctx.config.decode_cache_capacity)) {
   REPRO_ASSERT(sim_ != nullptr && net_ != nullptr && crypto_ != nullptr);
   qc_high_ = smr::genesis_certificate();
 }
@@ -109,14 +112,28 @@ bool ReplicaBase::recover_from_wal() {
 
 void ReplicaBase::on_message(ReplicaId from, const Bytes& payload) {
   if (halted_ || cfg_.fault.crashed()) return;
-  auto msg = smr::decode_message(payload);
+  // Decode-once: byte-identical payloads (a multicast seen by n replicas
+  // through the shared cache, or a self-delivery the sender pre-populated
+  // at encode time) parse once; any mutated byte changes the content key
+  // and takes the full decode-and-verify path independently.
+  const crypto::Digest key = smr::DecodeCache::key_of(payload);
+  bool cache_hit = false;
+  auto msg = dcache_->decode(key, payload, &cache_hit);
+  cache_hit ? ++stats_.decode_hits : ++stats_.decode_misses;
   if (!msg) {
     LOG_WARN("replica %u: dropping malformed message from %u", id_, from);
     return;
   }
-  if (!smr::verify_message_signature(*crypto_, from, *msg)) {
-    LOG_WARN("replica %u: bad signature on message from %u", id_, from);
-    return;
+  // The signature memo is keyed by (payload bytes, sender): verification
+  // is a pure function of the two, so a recorded success is as strong as
+  // re-running it, while the same bytes replayed by a different sender
+  // still pay (and fail) the full check.
+  if (!dcache_->sender_verified(key, from)) {
+    if (!smr::verify_message_signature(*crypto_, from, *msg)) {
+      LOG_WARN("replica %u: bad signature on message from %u", id_, from);
+      return;
+    }
+    dcache_->note_sender_verified(key, from);
   }
 
   // Block retrieval is protocol-independent; handle it here.
@@ -147,14 +164,24 @@ void ReplicaBase::on_message(ReplicaId from, const Bytes& payload) {
   handle_message(from, std::move(*msg));
 }
 
-void ReplicaBase::send(ReplicaId to, smr::Message msg) {
+SharedBytes ReplicaBase::encode_signed(smr::Message& msg) {
   smr::sign_message(*crypto_, id_, msg);
-  net_->send(id_, to, smr::encode_message(msg));
+  SharedBytes payload = make_shared_bytes(smr::encode_message(msg));
+  // The sender already holds the decoded form: seed the cache so the
+  // loopback delivery (and shared-cache recipients) skip the re-parse.
+  // Marking ourselves signature-verified is sound — we produced the
+  // signature over exactly these bytes.
+  dcache_->insert(smr::DecodeCache::key_of(*payload), std::move(msg), id_);
+  return payload;
+}
+
+void ReplicaBase::send(ReplicaId to, smr::Message msg) {
+  net_->send(id_, to, encode_signed(msg));
 }
 
 void ReplicaBase::multicast(smr::Message msg) {
-  smr::sign_message(*crypto_, id_, msg);
-  net_->multicast(id_, smr::encode_message(msg));
+  ++stats_.multicast_encodes;
+  net_->multicast(id_, encode_signed(msg));
 }
 
 bool ReplicaBase::is_endorsed(const smr::Certificate& cert) const {

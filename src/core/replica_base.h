@@ -87,6 +87,9 @@ class ReplicaBase : public IReplica {
   /// Verified-certificate cache occupancy (tests pin its bound).
   std::size_t cert_cache_size() const { return vcache_.size(); }
   std::size_t cert_cache_capacity() const { return vcache_.capacity(); }
+  /// The decode-once cache this replica delivers through (harness-shared
+  /// in simulations, private otherwise).
+  const smr::DecodeCache& decode_cache() const { return *dcache_; }
 
  protected:
   /// Commit-rule chain length: 3 for the paper's base protocols, 2 for
@@ -101,6 +104,11 @@ class ReplicaBase : public IReplica {
   virtual void on_block_stored(const smr::Block& block, ReplicaId from);
 
   // Messaging ----------------------------------------------------------
+  // Sign, serialize exactly once into a refcounted buffer, and hand the
+  // buffer to the network. The sender pre-populates the decode cache with
+  // the decoded form (keyed by the payload hash), so its own loopback
+  // delivery — and, with the harness-shared cache, every simulated
+  // recipient — skips the redundant parse.
   void send(ReplicaId to, smr::Message msg);
   void multicast(smr::Message msg);
 
@@ -245,6 +253,10 @@ class ReplicaBase : public IReplica {
   bool recovered_ = false;
   bool halted_ = false;
   crypto::VerifierCache vcache_;
+  std::shared_ptr<smr::DecodeCache> dcache_;
+
+  /// Sign + encode once; shared by send/multicast.
+  SharedBytes encode_signed(smr::Message& msg);
 
   std::map<View, smr::CoinQC> coins_;
   std::unordered_set<smr::BlockId, smr::BlockIdHash> outstanding_fetches_;

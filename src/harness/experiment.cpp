@@ -22,6 +22,10 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
   const auto& crypto = crypto_;
   net_ = std::make_unique<net::Network>(sim_, cfg_.n, build_delay_model(),
                                         Rng(cfg_.seed ^ 0x6e6574));
+  // One decode cache for the whole system: every replica observes the same
+  // broadcast bytes, so each distinct payload is parsed once — not once per
+  // recipient (and not at all when the sender pre-populated at encode).
+  decode_cache_ = std::make_shared<smr::DecodeCache>(cfg_.pcfg.decode_cache_capacity);
 
   replicas_.reserve(cfg_.n);
   for (ReplicaId id = 0; id < cfg_.n; ++id) {
@@ -45,6 +49,7 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
       wals_.push_back(std::make_unique<storage::MemWal>());
       ctx.wal = wals_.back().get();
     }
+    ctx.decode_cache = decode_cache_;
     ctxs_.push_back(ctx);
     replicas_.push_back(build_replica_with_ctx(ctx));
     net_->register_handler(id, [this, id](ReplicaId from, const Bytes& payload) {

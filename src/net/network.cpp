@@ -15,43 +15,51 @@ void Network::register_handler(ReplicaId id, Handler handler) {
   handlers_[id] = std::move(handler);
 }
 
-void Network::deliver_after(SimTime delay, ReplicaId from, ReplicaId to, Bytes payload) {
+void Network::deliver_after(SimTime delay, ReplicaId from, ReplicaId to,
+                            SharedBytes payload) {
+  // The delivery queue holds a reference to the one serialized buffer; a
+  // multicast in flight to n-1 peers costs one allocation total.
   sim_.schedule_after(delay, [this, from, to, payload = std::move(payload)]() {
     // delivered() is a processing metric: count only payloads that actually
     // reach a handler, so drain checks don't see phantom deliveries for
     // replicas that were never registered.
     if (handlers_[to]) {
       ++delivered_;
-      handlers_[to](from, payload);
+      handlers_[to](from, *payload);
     }
   });
 }
 
-void Network::send(ReplicaId from, ReplicaId to, Bytes payload) {
+void Network::send(ReplicaId from, ReplicaId to, SharedBytes payload) {
   REPRO_ASSERT(from < handlers_.size() && to < handlers_.size());
+  REPRO_ASSERT(payload != nullptr);
   if (from == to) {
     // Free per the accounting policy (see NetStats), but tallied so the
     // exclusion shows up in dumps instead of silently undercounting.
     stats_.self_messages += 1;
-    stats_.self_bytes += payload.size();
+    stats_.self_bytes += payload->size();
     deliver_after(0, from, to, std::move(payload));
     return;
   }
   stats_.messages += 1;
-  stats_.bytes += payload.size();
-  if (!payload.empty()) {
-    const std::uint8_t tag = payload[0];
+  stats_.bytes += payload->size();
+  if (!payload->empty()) {
+    const std::uint8_t tag = (*payload)[0];
     if (tag < stats_.messages_by_type.size()) {
       stats_.messages_by_type[tag] += 1;
-      stats_.bytes_by_type[tag] += payload.size();
+      stats_.bytes_by_type[tag] += payload->size();
     }
   }
-  const MessageContext ctx{from, to, payload.size(), sim_.now()};
+  const MessageContext ctx{from, to, payload->size(), sim_.now()};
   const SimTime d = model_->delay(ctx, rng_);
   deliver_after(d, from, to, std::move(payload));
 }
 
-void Network::multicast(ReplicaId from, const Bytes& payload) {
+void Network::multicast(ReplicaId from, SharedBytes payload) {
+  stats_.multicasts += 1;
+  // Every recipient beyond the first shares `payload` instead of getting
+  // its own deep copy (what the pre-refcount data path did).
+  if (handlers_.size() > 1) stats_.payload_copies_avoided += handlers_.size() - 1;
   for (ReplicaId to = 0; to < handlers_.size(); ++to) {
     send(from, to, payload);
   }

@@ -47,6 +47,27 @@ struct NetStats {
   std::array<std::uint64_t, 32> messages_by_type{};
   std::array<std::uint64_t, 32> bytes_by_type{};
 
+  // Data-path counters (zero-copy multicast + batched writes). These are
+  // efficiency metrics, not traffic metrics: they never feed the
+  // communication-complexity benches.
+  /// multicast() invocations.
+  std::uint64_t multicasts = 0;
+  /// Payload buffers that were *shared* instead of deep-copied: for each
+  /// multicast, every recipient beyond the first reuses the one
+  /// serialized buffer (n recipients -> n-1 copies avoided).
+  std::uint64_t payload_copies_avoided = 0;
+  /// TCP transport only: writev() syscalls that made progress, frames
+  /// fully flushed through them, and bytes written. Mean frames per batch
+  /// = writev_frames / writev_batches.
+  std::uint64_t writev_batches = 0;
+  std::uint64_t writev_frames = 0;
+  std::uint64_t writev_bytes = 0;
+  /// TCP transport only: frames rejected by the bounded per-peer send
+  /// queue (backpressure drop policy; the protocol's timeout/fallback
+  /// machinery recovers, exactly as for frames racing a connection drop).
+  std::uint64_t sendq_dropped_frames = 0;
+  std::uint64_t sendq_dropped_bytes = 0;
+
   NetStats operator-(const NetStats& o) const {
     NetStats d;
     d.messages = messages - o.messages;
@@ -57,6 +78,13 @@ struct NetStats {
       d.messages_by_type[i] = messages_by_type[i] - o.messages_by_type[i];
       d.bytes_by_type[i] = bytes_by_type[i] - o.bytes_by_type[i];
     }
+    d.multicasts = multicasts - o.multicasts;
+    d.payload_copies_avoided = payload_copies_avoided - o.payload_copies_avoided;
+    d.writev_batches = writev_batches - o.writev_batches;
+    d.writev_frames = writev_frames - o.writev_frames;
+    d.writev_bytes = writev_bytes - o.writev_bytes;
+    d.sendq_dropped_frames = sendq_dropped_frames - o.sendq_dropped_frames;
+    d.sendq_dropped_bytes = sendq_dropped_bytes - o.sendq_dropped_bytes;
     return d;
   }
 };
@@ -68,12 +96,22 @@ class INetwork {
  public:
   virtual ~INetwork() = default;
 
-  /// Send one message (reliable, authenticated-sender channel).
-  virtual void send(ReplicaId from, ReplicaId to, Bytes payload) = 0;
+  /// Send one message (reliable, authenticated-sender channel). The
+  /// payload is a refcounted immutable buffer: implementations share it
+  /// between the delivery queue / socket writes instead of copying.
+  virtual void send(ReplicaId from, ReplicaId to, SharedBytes payload) = 0;
 
   /// Send to all n replicas including the sender (the paper's
-  /// "multicast").
-  virtual void multicast(ReplicaId from, const Bytes& payload) = 0;
+  /// "multicast"). One serialized buffer serves every recipient.
+  virtual void multicast(ReplicaId from, SharedBytes payload) = 0;
+
+  // Convenience wrappers for callers holding a plain buffer.
+  void send(ReplicaId from, ReplicaId to, Bytes payload) {
+    send(from, to, make_shared_bytes(std::move(payload)));
+  }
+  void multicast(ReplicaId from, Bytes payload) {
+    multicast(from, make_shared_bytes(std::move(payload)));
+  }
 };
 
 class Network final : public INetwork {
@@ -90,12 +128,16 @@ class Network final : public INetwork {
   /// message addressed to it is delivered.
   void register_handler(ReplicaId id, Handler handler);
 
+  using INetwork::multicast;
+  using INetwork::send;
+
   /// Send one message. Self-sends are delivered at the current time with
   /// zero network cost.
-  void send(ReplicaId from, ReplicaId to, Bytes payload) override;
+  void send(ReplicaId from, ReplicaId to, SharedBytes payload) override;
 
-  /// Counts n-1 network messages (self-delivery is free).
-  void multicast(ReplicaId from, const Bytes& payload) override;
+  /// Counts n-1 network messages (self-delivery is free). All n
+  /// deliveries share `payload` — zero per-recipient copies.
+  void multicast(ReplicaId from, SharedBytes payload) override;
 
   const NetStats& stats() const { return stats_; }
 
@@ -108,7 +150,7 @@ class Network final : public INetwork {
   std::uint64_t delivered() const { return delivered_; }
 
  private:
-  void deliver_after(SimTime delay, ReplicaId from, ReplicaId to, Bytes payload);
+  void deliver_after(SimTime delay, ReplicaId from, ReplicaId to, SharedBytes payload);
 
   sim::Simulation& sim_;
   std::unique_ptr<DelayModel> model_;

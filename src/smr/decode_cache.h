@@ -1,0 +1,150 @@
+// Decode-once delivery cache: content-keyed memo of decoded wire
+// messages, so a multicast delivered to n replicas is parsed once, not n
+// times — the decode-side twin of the zero-copy (refcounted) payload on
+// the send side.
+//
+// The fallback's O(n²) message complexity means the data path dominates
+// when the network goes bad: every replica used to re-run
+// `decode_message` on byte-identical payloads that n-1 peers (or its own
+// multicast loopback) already decoded. Entries are keyed by the SHA-256
+// of the exact payload bytes, so a hit returns a value equal to a fresh
+// decode of those bytes (the codec is canonical: decode(encode(m)) == m,
+// and any mutated byte changes the key and misses). Malformed payloads
+// are never cached — each distinct malformed buffer is rejected
+// independently.
+//
+// Senders pre-populate the cache at encode time (they hold the decoded
+// form already), which is what makes a replica's *self-delivery* free of
+// the encode → decode round trip. They also record themselves as a
+// verified envelope signer: signature verification is a deterministic
+// pure function of (sender, payload bytes), so a per-entry memo of
+// senders whose envelope signature over these exact bytes checked out is
+// as strong as re-verifying — a replayed payload from a *different*
+// sender is not in the memo and pays the full check (and fails).
+//
+// Bounded LRU, mirroring crypto::VerifierCache. Shared by all replicas of
+// one simulation (they observe the same broadcast bytes); per-node in the
+// TCP transport (processes share nothing).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "smr/messages.h"
+
+namespace repro::smr {
+
+class DecodeCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  /// hits + misses counts every delivery that consulted the cache;
+  /// misses equals the number of full `decode_message` parses performed
+  /// through it (malformed payloads included).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  explicit DecodeCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Content key: hash of the exact payload bytes.
+  static crypto::Digest key_of(BytesView payload) { return crypto::sha256(payload); }
+
+  /// Decoded form of `payload`: a copy of the cached message on a hit, a
+  /// fresh `decode_message` (inserted on success) on a miss. Sets *hit
+  /// accordingly. nullopt = malformed payload (never cached).
+  std::optional<Message> decode(const crypto::Digest& key, BytesView payload, bool* hit) {
+    if (auto it = index_.find(key); it != index_.end()) {
+      ++stats_.hits;
+      *hit = true;
+      order_.splice(order_.begin(), order_, it->second);
+      return it->second->second.msg;
+    }
+    ++stats_.misses;
+    *hit = false;
+    auto msg = decode_message(payload);
+    if (msg) insert_entry(key, Entry{*msg, {}});
+    return msg;
+  }
+
+  /// Sender-side pre-population: `msg`'s canonical encoding hashes to
+  /// `key`, and `signer` produced (hence trivially verifies) the envelope
+  /// signature inside it.
+  void insert(const crypto::Digest& key, Message msg, ReplicaId signer) {
+    if (auto it = index_.find(key); it != index_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      note_sender_verified(key, signer);
+      return;
+    }
+    insert_entry(key, Entry{std::move(msg), {signer}});
+  }
+
+  /// True iff a previous envelope-signature check of these exact bytes
+  /// against `sender` succeeded (or `sender` encoded them itself).
+  bool sender_verified(const crypto::Digest& key, ReplicaId sender) const {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    const auto& v = it->second->second.verified_senders;
+    for (ReplicaId id : v) {
+      if (id == sender) return true;
+    }
+    return false;
+  }
+
+  /// Record a successful envelope-signature verification. No-op if the
+  /// entry was evicted in the meantime. Failures must never be recorded.
+  void note_sender_verified(const crypto::Digest& key, ReplicaId sender) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    auto& v = it->second->second.verified_senders;
+    for (ReplicaId id : v) {
+      if (id == sender) return;
+    }
+    v.push_back(sender);
+  }
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Message msg;
+    /// Senders whose envelope signature over these bytes verified. Tiny
+    /// in practice: a payload has one legitimate signer.
+    std::vector<ReplicaId> verified_senders;
+  };
+
+  struct DigestHash {
+    std::size_t operator()(const crypto::Digest& d) const {
+      return static_cast<std::size_t>(crypto::digest_prefix_u64(d));
+    }
+  };
+
+  void insert_entry(const crypto::Digest& key, Entry entry) {
+    if (index_.size() >= capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++stats_.evictions;
+    }
+    order_.emplace_front(key, std::move(entry));
+    index_.emplace(key, order_.begin());
+    ++stats_.insertions;
+  }
+
+  std::size_t capacity_;
+  /// Most-recently-used first.
+  std::list<std::pair<crypto::Digest, Entry>> order_;
+  std::unordered_map<crypto::Digest, decltype(order_)::iterator, DigestHash> index_;
+  Stats stats_;
+};
+
+}  // namespace repro::smr

@@ -130,6 +130,12 @@ using Message =
 
 MsgType message_type(const Message& msg);
 
+/// Exact wire size of `encode_message(msg)` — every field is fixed-width
+/// or length-prefixed, so the size is computable without serializing.
+/// `encode_message` pre-reserves exactly this many bytes; exposed so tests
+/// can pin the two against each other.
+std::size_t encoded_size(const Message& msg);
+
 /// Serialize (without touching any signature field — sign first).
 Bytes encode_message(const Message& msg);
 

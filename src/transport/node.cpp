@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -42,11 +43,17 @@ void write_le32(std::uint8_t* p, std::uint32_t v) {
 /// most this many fds, each for at most hello_timeout.
 constexpr std::size_t kMaxPendingHellos = 64;
 
-/// Write everything or fail (blocking writes from the single node thread
-/// keep the implementation lock-free). A full socket buffer only means
-/// the peer is momentarily slow — keep retrying until `budget_us` of wall
-/// time is spent; a single timed-out poll() is not grounds for tearing
-/// the connection down.
+/// Frames per vectored write: each frame contributes a header iovec and a
+/// payload iovec, and IOV_MAX is at least 16 on any POSIX system — 64
+/// iovecs stays far under every real limit (Linux: 1024) while letting a
+/// protocol burst coalesce dozens of frames into one syscall.
+constexpr std::size_t kMaxIov = 64;
+
+/// Write everything or fail — used only for the 4-byte connect hello,
+/// written before the socket goes non-blocking. Data frames go through
+/// SendQueue. A full socket buffer only means the peer is momentarily
+/// slow — keep retrying until `budget_us` of wall time is spent; a single
+/// timed-out poll() is not grounds for tearing the connection down.
 bool write_all(int fd, const std::uint8_t* data, std::size_t len, SimTime budget_us) {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::microseconds(budget_us);
@@ -75,6 +82,86 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t len, SimTime budget
 }
 
 }  // namespace
+
+// ---- SendQueue --------------------------------------------------------------
+
+bool SendQueue::push(SharedBytes payload, net::NetStats* stats) {
+  REPRO_ASSERT(payload != nullptr && payload->size() <= kMaxFrame);
+  const std::size_t frame_bytes = 4 + payload->size();
+  if (queued_bytes_ + frame_bytes > max_bytes_) {
+    if (stats != nullptr) {
+      stats->sendq_dropped_frames += 1;
+      stats->sendq_dropped_bytes += frame_bytes;
+    }
+    return false;
+  }
+  Frame f;
+  write_le32(f.header.data(), static_cast<std::uint32_t>(payload->size()));
+  f.payload = std::move(payload);
+  frames_.push_back(std::move(f));
+  queued_bytes_ += frame_bytes;
+  return true;
+}
+
+SendQueue::FlushResult SendQueue::flush(int fd, net::NetStats* stats) {
+  bool wrote_any = false;
+  while (!frames_.empty()) {
+    // Gather the head of the queue into iovecs; the first frame may
+    // resume mid-header or mid-payload from a previous partial write.
+    std::array<iovec, kMaxIov> iov;
+    std::size_t iovcnt = 0;
+    bool first = true;
+    for (const Frame& f : frames_) {
+      if (iovcnt + 2 > kMaxIov) break;
+      std::size_t off = first ? head_offset_ : 0;
+      first = false;
+      if (off < 4) {
+        iov[iovcnt++] = {const_cast<std::uint8_t*>(f.header.data() + off), 4 - off};
+        off = 0;
+      } else {
+        off -= 4;
+      }
+      if (off < f.payload->size()) {
+        iov[iovcnt++] = {const_cast<std::uint8_t*>(f.payload->data() + off),
+                         f.payload->size() - off};
+      }
+    }
+    // sendmsg is writev plus MSG_NOSIGNAL (a reset peer must yield EPIPE,
+    // not kill the process).
+    msghdr mh{};
+    mh.msg_iov = iov.data();
+    mh.msg_iovlen = iovcnt;
+    const ssize_t n = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return wrote_any ? FlushResult::kProgress : FlushResult::kBlocked;
+      }
+      return FlushResult::kError;
+    }
+    wrote_any = true;
+    queued_bytes_ -= static_cast<std::size_t>(n);
+    if (stats != nullptr) {
+      stats->writev_batches += 1;
+      stats->writev_bytes += static_cast<std::uint64_t>(n);
+    }
+    // Retire fully-written frames; remember the offset into a partial one.
+    std::size_t remaining = static_cast<std::size_t>(n);
+    while (remaining > 0) {
+      Frame& f = frames_.front();
+      const std::size_t left = 4 + f.payload->size() - head_offset_;
+      if (remaining < left) {
+        head_offset_ += remaining;
+        break;
+      }
+      remaining -= left;
+      head_offset_ = 0;
+      frames_.pop_front();
+      if (stats != nullptr) stats->writev_frames += 1;
+    }
+  }
+  return FlushResult::kDrained;
+}
 
 // ---- RealtimeExecutor -------------------------------------------------------
 
@@ -126,41 +213,68 @@ std::size_t RealtimeExecutor::run_due() {
 // ---- TcpNetwork -------------------------------------------------------------
 
 /// INetwork over the node's socket mesh. Lives on the node thread.
+/// send() never touches the socket: frames land in the target peer's
+/// bounded SendQueue and the poll loop flushes all queues per iteration
+/// (one vectored write per peer). Accounting mirrors the simulated
+/// Network: messages/bytes count frames accepted for the wire,
+/// self-deliveries tally separately, send-queue drops separately.
 class TcpNode::TcpNetwork final : public net::INetwork {
  public:
   explicit TcpNetwork(TcpNode& node) : node_(node) {}
 
-  void send(ReplicaId from, ReplicaId to, Bytes payload) override {
+  using INetwork::multicast;
+  using INetwork::send;
+
+  void send(ReplicaId from, ReplicaId to, SharedBytes payload) override {
     REPRO_ASSERT(from == node_.cfg_.id);
+    REPRO_ASSERT(payload != nullptr);
     if (to == from) {
-      // Self-delivery: queue on the executor like the simulator does.
+      stats_.self_messages += 1;
+      stats_.self_bytes += payload->size();
+      // Self-delivery: queue on the executor like the simulator does. The
+      // refcounted buffer rides along; no copy.
       node_.executor_.schedule_at(
           node_.executor_.now(),
           [&node = node_, payload = std::move(payload)] {
-            if (node.replica_) node.replica_->on_message(node.cfg_.id, payload);
+            if (node.replica_) node.replica_->on_message(node.cfg_.id, *payload);
           });
       return;
     }
-    auto it = node_.fd_of_peer_.find(to);
-    if (it == node_.fd_of_peer_.end()) return;  // down; reconnect in progress
-    std::uint8_t header[4];
-    write_le32(header, static_cast<std::uint32_t>(payload.size()));
-    const SimTime budget = node_.write_budget_us();
-    if (!write_all(it->second, header, 4, budget) ||
-        !write_all(it->second, payload.data(), payload.size(), budget)) {
-      node_.close_peer(it->second);
+    auto fit = node_.fd_of_peer_.find(to);
+    if (fit == node_.fd_of_peer_.end()) return;  // down; reconnect in progress
+    auto cit = node_.conns_.find(fit->second);
+    if (cit == node_.conns_.end()) return;
+    const std::size_t size = payload->size();
+    const std::uint8_t tag = size > 0 ? (*payload)[0] : 0xFF;
+    if (!cit->second.outbox.push(std::move(payload), &stats_)) return;  // backpressure drop
+    stats_.messages += 1;
+    stats_.bytes += size;
+    if (size > 0 && tag < stats_.messages_by_type.size()) {
+      stats_.messages_by_type[tag] += 1;
+      stats_.bytes_by_type[tag] += size;
     }
   }
 
-  void multicast(ReplicaId from, const Bytes& payload) override {
-    for (ReplicaId to = 0; to < node_.cfg_.peers.size(); ++to) {
+  void multicast(ReplicaId from, SharedBytes payload) override {
+    stats_.multicasts += 1;
+    const std::size_t n = node_.cfg_.peers.size();
+    // One buffer for all n recipients (n-1 queues + the self-delivery).
+    if (n > 1) stats_.payload_copies_avoided += n - 1;
+    for (ReplicaId to = 0; to < n; ++to) {
       send(from, to, payload);
     }
   }
 
+  net::NetStats& stats() { return stats_; }
+
  private:
   TcpNode& node_;
+  net::NetStats stats_;
 };
+
+net::NetStats TcpNode::net_stats() const {
+  return network_ ? network_->stats() : net::NetStats{};
+}
 
 // ---- TcpNode ---------------------------------------------------------------
 
@@ -233,7 +347,10 @@ void TcpNode::try_connect(ReplicaId peer) {
     return;
   }
   set_nonblocking(fd);
-  conns_[fd] = Conn{peer, {}};
+  Conn conn;
+  conn.peer = peer;
+  conn.outbox = SendQueue(cfg_.send_queue_max_bytes);
+  conns_.emplace(fd, std::move(conn));
   fd_of_peer_[peer] = fd;
 }
 
@@ -349,7 +466,12 @@ void TcpNode::run_loop() {
     pfds.clear();
     pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
     pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
-    for (const auto& [fd, conn] : conns_) pfds.push_back(pollfd{fd, POLLIN, 0});
+    for (const auto& [fd, conn] : conns_) {
+      // A backlogged outbox registers for writability so a draining peer
+      // wakes the loop (the flush itself happens once per iteration).
+      const short events = conn.outbox.empty() ? POLLIN : (POLLIN | POLLOUT);
+      pfds.push_back(pollfd{fd, events, 0});
+    }
 
     int timeout_ms = 100;
     const SimTime deadline = executor_.next_deadline();
@@ -384,7 +506,10 @@ void TcpNode::run_loop() {
         const int one = 1;
         setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
         set_nonblocking(fd);
-        conns_[fd] = Conn{kUnknownPeer, {}, executor_.now()};
+        Conn conn;
+        conn.accepted_at = executor_.now();
+        conn.outbox = SendQueue(cfg_.send_queue_max_bytes);
+        conns_.emplace(fd, std::move(conn));
       }
     }
     // Collect ready fds first: handle_readable can mutate conns_.
@@ -396,6 +521,44 @@ void TcpNode::run_loop() {
     sweep_half_open();
 
     executor_.run_due();
+
+    // Everything produced this iteration (frame handlers + due timers) is
+    // queued by now; one vectored write per peer flushes it.
+    flush_writes();
+  }
+}
+
+void TcpNode::flush_writes() {
+  // Snapshot first: a flush failure tears connections out of conns_.
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) {
+    if (!conn.outbox.empty()) fds.push_back(fd);
+  }
+  const SimTime now = executor_.now();
+  for (int fd : fds) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    Conn& conn = it->second;
+    switch (conn.outbox.flush(fd, &network_->stats())) {
+      case SendQueue::FlushResult::kDrained:
+      case SendQueue::FlushResult::kProgress:
+        conn.blocked_since = kSimTimeNever;
+        break;
+      case SendQueue::FlushResult::kBlocked:
+        // A peer accepting zero bytes is only torn down once the stall
+        // outlives the write budget — same tolerance the old blocking
+        // write path gave a full socket buffer.
+        if (conn.blocked_since == kSimTimeNever) {
+          conn.blocked_since = now;
+        } else if (now - conn.blocked_since > write_budget_us()) {
+          close_peer(fd);
+        }
+        break;
+      case SendQueue::FlushResult::kError:
+        close_peer(fd);
+        break;
+    }
   }
 }
 

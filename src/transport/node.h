@@ -11,16 +11,26 @@
 //    peer sockets and the next timer deadline; all protocol logic runs on
 //    that thread, so the replica needs no locks.
 //
+// Outbound frames are never written inline: send() appends to a bounded
+// per-peer SendQueue (refcounted payloads, no copies) and the node thread
+// flushes every queue once per poll iteration with one scatter-gather
+// writev per peer — all frames produced in an iteration (protocol bursts
+// routinely fan a vote/timeout plus block responses at the same peer)
+// coalesce into a single syscall. A full queue drops the newest frame.
+//
 // Reliability note: the paper assumes reliable channels. TCP gives that
 // while a connection lives; frames racing a connection drop are lost and
 // NOT retransmitted here — the protocol's own timeout/fallback machinery
 // recovers, which is exactly the behaviour the paper prescribes for bad
-// networks. Key distribution still uses the trusted dealer: all nodes of
+// networks (backpressure drops from a full send queue land in the same
+// bucket). Key distribution still uses the trusted dealer: all nodes of
 // a cluster must be built from the same CryptoSystem.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <chrono>
@@ -74,6 +84,60 @@ struct PeerAddress {
   std::uint16_t port = 0;
 };
 
+/// Bounded outbound frame queue for one peer connection, flushed with
+/// scatter-gather vectored writes. Frames are {4-byte LE length header,
+/// refcounted payload}; the payload bytes are shared with every other
+/// queue holding the same multicast, never copied. Single-threaded (node
+/// thread only).
+///
+/// Backpressure policy: when queued bytes would exceed the bound, the
+/// *incoming* frame is dropped (drop-newest) and counted — equivalent to
+/// the frame racing a connection drop, which the protocol already
+/// tolerates. Older queued frames keep their ordering guarantee.
+class SendQueue {
+ public:
+  static constexpr std::size_t kDefaultMaxBytes = 8u << 20;  // 8 MiB
+
+  SendQueue() : SendQueue(kDefaultMaxBytes) {}
+  explicit SendQueue(std::size_t max_bytes) : max_bytes_(max_bytes == 0 ? 1 : max_bytes) {}
+
+  /// Enqueue one frame. Returns false — counting the drop into `stats` —
+  /// when the frame would push the queue past its byte bound.
+  bool push(SharedBytes payload, net::NetStats* stats);
+
+  enum class FlushResult {
+    kDrained,   ///< queue fully written
+    kProgress,  ///< wrote some bytes; socket buffer filled before empty
+    kBlocked,   ///< EAGAIN before any byte — peer not draining
+    kError,     ///< hard socket error; caller tears the connection down
+  };
+
+  /// Write queued frames to `fd` (non-blocking) until drained or the
+  /// socket stops accepting. Each vectored write that makes progress
+  /// counts one writev_batch in `stats`; frames completed by it count as
+  /// writev_frames. Partial frame writes resume at the exact byte offset
+  /// on the next flush (never re-sending, never skipping).
+  FlushResult flush(int fd, net::NetStats* stats);
+
+  bool empty() const { return frames_.empty(); }
+  std::size_t frames() const { return frames_.size(); }
+  /// Unwritten bytes queued (headers included, minus partial progress).
+  std::size_t bytes() const { return queued_bytes_; }
+  std::size_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Frame {
+    std::array<std::uint8_t, 4> header;
+    SharedBytes payload;
+  };
+
+  std::size_t max_bytes_;
+  std::deque<Frame> frames_;
+  /// Bytes of the front frame already written (spans header then payload).
+  std::size_t head_offset_ = 0;
+  std::size_t queued_bytes_ = 0;
+};
+
 struct NodeConfig {
   ReplicaId id = 0;
   /// Address of every replica in the cluster, indexed by replica id.
@@ -84,11 +148,15 @@ struct NodeConfig {
   storage::Wal* wal = nullptr;  ///< optional crash-recovery log
   /// Delay between reconnect attempts to a down peer (microseconds).
   SimTime reconnect_interval = 200'000;
-  /// Total budget for one blocking frame write before the peer is torn
-  /// down (microseconds). A full socket buffer is a transient condition
-  /// under load — only a stall spanning several reconnect intervals
-  /// indicates a dead peer. 0 derives max(1s, 5 * reconnect_interval).
+  /// How long a peer's send queue may sit blocked (EAGAIN, zero bytes
+  /// accepted) before the connection is torn down (microseconds). A full
+  /// socket buffer is a transient condition under load — only a stall
+  /// spanning several reconnect intervals indicates a dead peer. 0
+  /// derives max(1s, 5 * reconnect_interval).
   SimTime write_stall_timeout = 0;
+  /// Byte bound of each per-peer send queue; a frame that would exceed it
+  /// is dropped (see SendQueue).
+  std::size_t send_queue_max_bytes = SendQueue::kDefaultMaxBytes;
   /// Accepted connections must complete the 4-byte hello within this
   /// budget (microseconds) or they are closed; otherwise half-open
   /// connections would hold conns_ slots (and fds) forever.
@@ -122,6 +190,10 @@ class TcpNode {
   /// the replica while running).
   const core::IReplica& replica() const { return *replica_; }
 
+  /// Network counters (traffic, writev batching, send-queue drops) — like
+  /// replica(), only safe after stop(). Zero-valued if never started.
+  net::NetStats net_stats() const;
+
   ReplicaId id() const { return cfg_.id; }
 
  private:
@@ -135,7 +207,10 @@ class TcpNode {
   /// Close accepted connections that have not identified themselves
   /// within cfg_.hello_timeout.
   void sweep_half_open();
-  /// Effective write_all budget in microseconds (see NodeConfig).
+  /// Flush every non-empty send queue (once per poll iteration); tears
+  /// down connections on hard errors or stalls past write_budget_us().
+  void flush_writes();
+  /// Max no-progress stall before teardown, microseconds (see NodeConfig).
   SimTime write_budget_us() const;
 
   NodeConfig cfg_;
@@ -154,6 +229,10 @@ class TcpNode {
     ReplicaId peer = UINT32_MAX;  ///< UINT32_MAX until the hello arrives
     Bytes inbox;                  ///< partial-frame read buffer
     SimTime accepted_at = 0;      ///< executor time at accept (hello deadline)
+    SendQueue outbox;             ///< bounded outbound frame queue
+    /// When the outbox first reported kBlocked with no progress since;
+    /// kSimTimeNever while writes are flowing.
+    SimTime blocked_since = kSimTimeNever;
   };
   std::map<int, Conn> conns_;               ///< fd -> connection state
   std::map<ReplicaId, int> fd_of_peer_;     ///< established, post-hello

@@ -45,6 +45,7 @@ class TestReplica final : public ReplicaBase {
 
   using ReplicaBase::counts_for_commit;
   using ReplicaBase::ensure_block;
+  using ReplicaBase::multicast;
   using ReplicaBase::install_coin;
   using ReplicaBase::is_endorsed;
   using ReplicaBase::lock_direct_rank;
@@ -284,6 +285,38 @@ TEST_F(CoreUnits, LocksAreMonotone) {
   replica_->lock_direct_rank(certs[2]);
   replica_->lock_direct_rank(certs[0]);  // lower: must not regress
   EXPECT_EQ(replica_->rank_lock(), (smr::Rank{0, false, 3}));
+}
+
+// ---- multicast data path ----------------------------------------------------
+
+TEST_F(CoreUnits, MulticastSelfDeliveryKeepsExactAccounting) {
+  // Route the replica's own deliveries through the real network boundary
+  // so the self-send takes the full encode -> network -> decode round
+  // trip rather than a shortcut inside ReplicaBase.
+  net_->register_handler(0, [this](ReplicaId from, const Bytes& payload) {
+    replica_->on_message(from, payload);
+  });
+  smr::Message msg = smr::BlockRequestMsg{smr::BlockId{}, 2};
+  const std::uint64_t wire = smr::encoded_size(msg);
+  replica_->multicast(std::move(msg));
+  sim_.run();
+
+  // Self-delivery is tallied separately and never inflates network
+  // traffic: exactly n-1 wire messages, one self message, byte-for-byte.
+  const net::NetStats& net = net_->stats();
+  EXPECT_EQ(net.self_messages, 1u);
+  EXPECT_EQ(net.self_bytes, wire);
+  EXPECT_EQ(net.messages, 3u);
+  EXPECT_EQ(net.bytes, 3 * wire);
+  EXPECT_EQ(net.multicasts, 1u);
+  EXPECT_EQ(net.payload_copies_avoided, 3u);
+
+  // The sender serialized once and its own delivery hit the decode cache
+  // it pre-populated — zero parses anywhere on this multicast.
+  EXPECT_EQ(replica_->stats().multicast_encodes, 1u);
+  EXPECT_EQ(replica_->stats().decode_hits, 1u);
+  EXPECT_EQ(replica_->stats().decode_misses, 0u);
+  EXPECT_EQ(replica_->decode_cache().stats().insertions, 1u);
 }
 
 // ---- SigPool / schedule -----------------------------------------------------------

@@ -1,0 +1,141 @@
+// Decode-once delivery cache: content-keyed hits must be
+// indistinguishable from fresh decodes, mutated bytes must miss and be
+// judged independently, the LRU bound must hold under floods of distinct
+// payloads, and the per-sender signature memo must never leak a
+// verification to a different sender.
+#include <gtest/gtest.h>
+
+#include "crypto/dealer.h"
+#include "smr/decode_cache.h"
+
+namespace repro::smr {
+namespace {
+
+std::shared_ptr<const crypto::CryptoSystem> test_crypto() {
+  return crypto::CryptoSystem::deal(QuorumParams::for_n(4), 21);
+}
+
+Bytes wire_coin_share(View view, ReplicaId signer, std::uint64_t value) {
+  return encode_message(Message{CoinShareMsg{view, crypto::PartialSig{signer, value}}});
+}
+
+TEST(DecodeCache, HitReturnsValueEqualToFreshDecode) {
+  DecodeCache cache(16);
+  const Bytes wire = wire_coin_share(7, 2, 99);
+  const auto key = DecodeCache::key_of(wire);
+
+  bool hit = true;
+  auto first = cache.decode(key, wire, &hit);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(hit);
+
+  auto second = cache.decode(key, wire, &hit);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(hit);
+  // Message has no operator==; canonical encoding makes byte equality
+  // the right notion of "same decoded value".
+  EXPECT_EQ(encode_message(*second), encode_message(*first));
+  EXPECT_EQ(encode_message(*second), wire);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(DecodeCache, EveryMutatedByteMissesAndIsJudgedIndependently) {
+  DecodeCache cache(DecodeCache::kDefaultCapacity);
+  const Bytes wire = wire_coin_share(3, 1, 42);
+  bool hit = false;
+  ASSERT_TRUE(cache.decode(DecodeCache::key_of(wire), wire, &hit).has_value());
+
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    Bytes mutated = wire;
+    mutated[i] ^= 0x01;
+    const auto key = DecodeCache::key_of(mutated);
+    hit = true;
+    auto msg = cache.decode(key, mutated, &hit);
+    EXPECT_FALSE(hit) << "byte " << i << " flip must change the content key";
+    // The mutated buffer must be decoded (or rejected) on its own merits:
+    // flipping the tag or a length prefix can make it malformed, flipping
+    // a value byte yields a different-but-valid message. Either way it
+    // must never alias the cached original.
+    if (msg) {
+      EXPECT_EQ(encode_message(*msg), mutated) << "byte " << i;
+      EXPECT_NE(encode_message(*msg), wire) << "byte " << i;
+    }
+  }
+}
+
+TEST(DecodeCache, MalformedPayloadsAreNeverCached) {
+  DecodeCache cache(16);
+  const Bytes garbage{200, 1, 2, 3};
+  const auto key = DecodeCache::key_of(garbage);
+  bool hit = false;
+  EXPECT_FALSE(cache.decode(key, garbage, &hit).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  // The retry pays a full (failing) decode again — no negative caching.
+  EXPECT_FALSE(cache.decode(key, garbage, &hit).has_value());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(DecodeCache, BoundHoldsUnderFloodOfDistinctPayloads) {
+  constexpr std::size_t kCap = 32;
+  DecodeCache cache(kCap);
+  bool hit = false;
+  for (std::uint64_t i = 0; i < 10 * kCap; ++i) {
+    const Bytes wire = wire_coin_share(i, 0, i);
+    ASSERT_TRUE(cache.decode(DecodeCache::key_of(wire), wire, &hit).has_value());
+    ASSERT_LE(cache.size(), kCap);
+  }
+  EXPECT_EQ(cache.size(), kCap);
+  EXPECT_EQ(cache.stats().evictions, 10 * kCap - kCap);
+
+  // LRU: the newest payload survives the flood, the oldest does not.
+  const Bytes newest = wire_coin_share(10 * kCap - 1, 0, 10 * kCap - 1);
+  cache.decode(DecodeCache::key_of(newest), newest, &hit);
+  EXPECT_TRUE(hit);
+  const Bytes oldest = wire_coin_share(0, 0, 0);
+  cache.decode(DecodeCache::key_of(oldest), oldest, &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(DecodeCache, SenderPrepopulationServesSelfDelivery) {
+  auto sys = test_crypto();
+  DecodeCache cache(16);
+  // A signed type: the sender encodes once and seeds the cache.
+  Message msg = FbQcMsg{genesis_certificate(), {}};
+  sign_message(*sys, 1, msg);
+  const Bytes wire = encode_message(msg);
+  const auto key = DecodeCache::key_of(wire);
+  cache.insert(key, msg, /*signer=*/1);
+
+  bool hit = false;
+  auto delivered = cache.decode(key, wire, &hit);
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(encode_message(*delivered), wire);
+  EXPECT_TRUE(cache.sender_verified(key, 1));
+}
+
+TEST(DecodeCache, SenderMemoDoesNotLeakAcrossSenders) {
+  DecodeCache cache(16);
+  const Bytes wire = wire_coin_share(1, 0, 5);
+  const auto key = DecodeCache::key_of(wire);
+  bool hit = false;
+  cache.decode(key, wire, &hit);
+  cache.note_sender_verified(key, 2);
+
+  // A Byzantine replica replaying replica 2's exact bytes presents a
+  // different (key, sender) pair — it must not inherit the verification.
+  EXPECT_TRUE(cache.sender_verified(key, 2));
+  EXPECT_FALSE(cache.sender_verified(key, 3));
+
+  // Memos survive repeats and tolerate evicted keys.
+  cache.note_sender_verified(key, 2);
+  EXPECT_TRUE(cache.sender_verified(key, 2));
+  const auto ghost = DecodeCache::key_of(Bytes{9, 9, 9});
+  cache.note_sender_verified(ghost, 2);  // no-op, no crash
+  EXPECT_FALSE(cache.sender_verified(ghost, 2));
+}
+
+}  // namespace
+}  // namespace repro::smr

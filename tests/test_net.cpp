@@ -68,6 +68,47 @@ TEST(Network, MulticastReachesAllIncludingSender) {
   EXPECT_EQ(rig.net->delivered(), 4u);  // processing metric includes self
 }
 
+TEST(Network, MulticastSharesOnePayloadBufferZeroCopies) {
+  // The refcounted data path: every handler must observe the *same*
+  // buffer object — pointer identity, not just byte equality — so a
+  // multicast to n recipients costs exactly one allocation.
+  sim::Simulation sim;
+  Network net(sim, 4, std::make_unique<FixedDelayModel>(10), Rng(77));
+  std::vector<const Bytes*> seen;
+  for (ReplicaId id = 0; id < 4; ++id) {
+    net.register_handler(id, [&seen](ReplicaId, const Bytes& payload) {
+      seen.push_back(&payload);
+    });
+  }
+  net.multicast(1, Bytes{5, 6});
+  sim.run();
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], seen[1]);
+  EXPECT_EQ(seen[1], seen[2]);
+  EXPECT_EQ(seen[2], seen[3]);
+  EXPECT_EQ(net.stats().multicasts, 1u);
+  EXPECT_EQ(net.stats().payload_copies_avoided, 3u);  // n-1 shared recipients
+  // Traffic accounting unchanged by the zero-copy path.
+  EXPECT_EQ(net.stats().messages, 3u);
+  EXPECT_EQ(net.stats().self_messages, 1u);
+}
+
+TEST(Network, SharedPayloadOutlivesSenderScope) {
+  // The delivery queue must keep the buffer alive on its own: send a
+  // payload whose only other reference dies before the sim runs.
+  sim::Simulation sim;
+  Network net(sim, 2, std::make_unique<FixedDelayModel>(1000), Rng(77));
+  Bytes got;
+  net.register_handler(1, [&got](ReplicaId, const Bytes& payload) { got = payload; });
+  net.register_handler(0, [](ReplicaId, const Bytes&) {});
+  {
+    SharedBytes payload = make_shared_bytes(Bytes{1, 2, 3, 4});
+    net.send(0, 1, payload);
+  }  // caller's reference gone; queue's reference remains
+  sim.run();
+  EXPECT_EQ(got, (Bytes{1, 2, 3, 4}));
+}
+
 TEST(Network, DeliveredCountsOnlyHandledPayloads) {
   // A payload addressed to a replica with no registered handler must not
   // inflate delivered(): it is a traffic event, not a processing event.

@@ -273,6 +273,10 @@ TEST(Messages, AllTypesRoundTrip) {
     const Bytes wire = encode_message(msg);
     ASSERT_FALSE(wire.empty());
     EXPECT_EQ(wire[0], static_cast<std::uint8_t>(message_type(msg)));
+    // The size hint encode_message reserves from must be exact — a drift
+    // here means mid-encode reallocations (or an over-reservation) snuck
+    // back in with a wire-format change.
+    EXPECT_EQ(encoded_size(msg), wire.size()) << "type " << int(wire[0]);
     auto decoded = decode_message(wire);
     ASSERT_TRUE(decoded.has_value()) << "type " << int(wire[0]);
     EXPECT_EQ(encode_message(*decoded), wire);

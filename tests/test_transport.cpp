@@ -6,6 +6,8 @@
 // hundred milliseconds each) and use pid-derived ports to avoid clashes.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -149,6 +151,145 @@ TEST(TcpCluster, NodeCrashAndWalRecoveryOverTcp) {
   cluster.stop_all();
   EXPECT_TRUE(cluster.ledgers_consistent());
   EXPECT_TRUE(dynamic_cast<const core::ReplicaBase&>(cluster.nodes[3]->replica()).recovered());
+}
+
+// ---- per-peer send queue ----------------------------------------------------
+
+SharedBytes frame_of(std::size_t size, std::uint8_t fill) {
+  return make_shared_bytes(Bytes(size, fill));
+}
+
+/// AF_UNIX socketpair with a tiny send buffer on the writer side so a few
+/// KiB of frames reliably hit EAGAIN; both ends non-blocking.
+struct TinyPipe {
+  int writer = -1;
+  int reader = -1;
+
+  TinyPipe() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    writer = fds[0];
+    reader = fds[1];
+    const int small = 4096;  // kernel clamps upward, but stays small
+    ::setsockopt(writer, SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+    ::fcntl(writer, F_SETFL, O_NONBLOCK);
+    ::fcntl(reader, F_SETFL, O_NONBLOCK);
+  }
+  ~TinyPipe() {
+    if (writer >= 0) ::close(writer);
+    if (reader >= 0) ::close(reader);
+  }
+
+  /// Read everything currently buffered on the reader side.
+  void drain_into(Bytes& out) {
+    std::uint8_t buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(reader, buf, sizeof(buf));
+      if (n <= 0) return;
+      out.insert(out.end(), buf, buf + n);
+    }
+  }
+};
+
+TEST(SendQueue, DropsNewestFrameAtByteBoundAndCountsIt) {
+  net::NetStats stats;
+  SendQueue q(100);
+  EXPECT_TRUE(q.push(frame_of(40, 1), &stats));   // 44 bytes with header
+  EXPECT_TRUE(q.push(frame_of(40, 2), &stats));   // 88
+  EXPECT_FALSE(q.push(frame_of(40, 3), &stats));  // 132 > 100: dropped
+  EXPECT_EQ(q.frames(), 2u);
+  EXPECT_EQ(q.bytes(), 88u);
+  EXPECT_EQ(stats.sendq_dropped_frames, 1u);
+  EXPECT_EQ(stats.sendq_dropped_bytes, 44u);  // header counted too
+  // A smaller frame that fits is still accepted after a drop.
+  EXPECT_TRUE(q.push(frame_of(8, 4), &stats));
+  EXPECT_EQ(stats.sendq_dropped_frames, 1u);
+}
+
+TEST(SendQueue, PartialWritesResumeWithoutLossOrDuplication) {
+  TinyPipe pipe;
+  net::NetStats stats;
+  SendQueue q;
+  // Far more data than the writer's socket buffer: flushes will stop
+  // mid-frame and must resume at the exact byte offset.
+  constexpr std::size_t kFrames = 8;
+  constexpr std::size_t kSize = 8 * 1024;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(q.push(frame_of(kSize, static_cast<std::uint8_t>(i + 1)), &stats));
+  }
+
+  Bytes received;
+  int spins = 0;
+  for (;;) {
+    const auto r = q.flush(pipe.writer, &stats);
+    ASSERT_NE(r, SendQueue::FlushResult::kError);
+    if (r == SendQueue::FlushResult::kDrained) break;
+    pipe.drain_into(received);  // the peer consumes; the queue recovers
+    ASSERT_LT(++spins, 10'000) << "flush never drained — stalled queue";
+  }
+  pipe.drain_into(received);
+
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.bytes(), 0u);
+  EXPECT_EQ(stats.writev_frames, kFrames);
+  EXPECT_EQ(stats.writev_bytes, kFrames * (4 + kSize));
+  EXPECT_GE(stats.writev_batches, 2u);  // tiny buffer forces multiple writes
+
+  // The byte stream must contain each frame exactly once, in order.
+  ASSERT_EQ(received.size(), kFrames * (4 + kSize));
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    const std::uint32_t len = static_cast<std::uint32_t>(received[off]) |
+                              (static_cast<std::uint32_t>(received[off + 1]) << 8) |
+                              (static_cast<std::uint32_t>(received[off + 2]) << 16) |
+                              (static_cast<std::uint32_t>(received[off + 3]) << 24);
+    ASSERT_EQ(len, kSize) << "frame " << i;
+    off += 4;
+    for (std::size_t b = 0; b < kSize; ++b) {
+      ASSERT_EQ(received[off + b], static_cast<std::uint8_t>(i + 1))
+          << "frame " << i << " byte " << b;
+    }
+    off += kSize;
+  }
+}
+
+TEST(SendQueue, BlockedSocketLeavesQueueIntact) {
+  TinyPipe pipe;
+  net::NetStats stats;
+  SendQueue q;
+  ASSERT_TRUE(q.push(frame_of(64 * 1024, 7), &stats));
+
+  // Nobody drains the reader: the first flush makes progress until the
+  // socket buffer fills, later flushes are blocked outright.
+  ASSERT_EQ(q.flush(pipe.writer, &stats), SendQueue::FlushResult::kProgress);
+  const std::size_t left = q.bytes();
+  ASSERT_GT(left, 0u);
+  EXPECT_EQ(q.flush(pipe.writer, &stats), SendQueue::FlushResult::kBlocked);
+  EXPECT_EQ(q.bytes(), left);  // blocked flush consumed nothing
+  EXPECT_EQ(q.frames(), 1u);
+
+  // Once the peer drains, the same queue finishes the frame.
+  Bytes received;
+  int spins = 0;
+  while (q.flush(pipe.writer, &stats) != SendQueue::FlushResult::kDrained) {
+    pipe.drain_into(received);
+    ASSERT_LT(++spins, 10'000);
+  }
+  pipe.drain_into(received);
+  EXPECT_EQ(received.size(), 4u + 64 * 1024);
+  EXPECT_EQ(stats.writev_frames, 1u);
+}
+
+TEST(SendQueue, PeerResetSurfacesErrorNotSignal) {
+  TinyPipe pipe;
+  net::NetStats stats;
+  SendQueue q;
+  ::close(pipe.reader);
+  pipe.reader = -1;
+  ASSERT_TRUE(q.push(frame_of(128, 9), &stats));
+  // MSG_NOSIGNAL: a reset peer yields EPIPE for the caller to tear the
+  // connection down — it must not kill the test process with SIGPIPE.
+  EXPECT_EQ(q.flush(pipe.writer, &stats), SendQueue::FlushResult::kError);
 }
 
 TEST(RealtimeExecutor, TimersFireInOrder) {

@@ -151,6 +151,7 @@ int main(int argc, char** argv) {
   const std::size_t decisions = exp.min_honest_commits();
   std::uint64_t fallbacks = 0, fb_time = 0, fb_exits = 0;
   std::uint64_t vhits = 0, vmiss = 0;
+  std::uint64_t dhits = 0, dmiss = 0;
   for (ReplicaId id = 0; id < cfg.n; ++id) {
     if (!exp.is_honest(id)) continue;
     fallbacks += exp.replica(id).stats().fallbacks_entered;
@@ -158,6 +159,8 @@ int main(int argc, char** argv) {
     fb_time += exp.replica(id).stats().fallback_time_total_us;
     vhits += exp.replica(id).stats().cert_verify_hits;
     vmiss += exp.replica(id).stats().cert_verify_misses;
+    dhits += exp.replica(id).stats().decode_hits;
+    dmiss += exp.replica(id).stats().decode_misses;
   }
 
   std::printf("reached target     : %s\n", reached ? "yes" : "NO");
@@ -179,6 +182,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(vhits));
   if (vmiss > 0) std::printf(" (%.1fx fewer full verifies)", double(vhits + vmiss) / vmiss);
   std::printf("\n");
+  std::printf("payload decodes    : %llu full, %llu cache hits",
+              static_cast<unsigned long long>(dmiss),
+              static_cast<unsigned long long>(dhits));
+  if (dmiss > 0) std::printf(" (%.1fx fewer parses)", double(dhits + dmiss) / dmiss);
+  std::printf("\n");
+  std::printf("zero-copy multicast: %llu multicasts, %llu payload copies avoided\n",
+              static_cast<unsigned long long>(st.multicasts),
+              static_cast<unsigned long long>(st.payload_copies_avoided));
   std::printf("fallbacks entered  : %llu", static_cast<unsigned long long>(fallbacks));
   if (fb_exits > 0) std::printf(" (mean duration %.1f ms)", fb_time / 1000.0 / fb_exits);
   std::printf("\n");
