@@ -41,6 +41,16 @@ struct FallbackStats {
   std::uint64_t net_bytes = 0;
   std::uint64_t commits = 0;           ///< min honest commits, summed over seeds
   std::uint64_t virtual_time_us = 0;   ///< summed virtual run durations
+  // Optimistic share assembly (combine-then-verify accumulators).
+  std::uint64_t shares_verified = 0;   ///< per-share verify_share calls paid
+  std::uint64_t shares_deferred = 0;   ///< shares buffered unverified
+  std::uint64_t combines_optimistic = 0;
+  std::uint64_t combine_fallbacks = 0;
+  std::uint64_t bad_shares_rejected = 0;
+  /// Per-seed fingerprint of replica 0's full commit sequence (block id,
+  /// round, view, height, commit time) — equal fingerprints mean
+  /// byte-identical commit histories with identical timing.
+  std::vector<std::uint64_t> ledger_fp;
 
   double mean_duration_ms() const {
     return exited ? double(fallback_time_us) / exited / 1000.0 : 0.0;
@@ -69,8 +79,15 @@ struct FallbackStats {
   }
 };
 
+struct MeasureOpts {
+  std::uint32_t crashes = 0;
+  bool lazy_share_verify = true;
+  /// Byzantine replicas flooding invalid threshold shares (kBadShares).
+  std::uint32_t bad_share_replicas = 0;
+};
+
 FallbackStats measure(Protocol p, std::uint32_t n, int seeds, std::size_t commits,
-                      std::uint32_t crashes = 0) {
+                      MeasureOpts opts = {}) {
   FallbackStats agg;
   for (int seed = 1; seed <= seeds; ++seed) {
     ExperimentConfig cfg;
@@ -78,8 +95,12 @@ FallbackStats measure(Protocol p, std::uint32_t n, int seeds, std::size_t commit
     cfg.protocol = p;
     cfg.scenario = NetScenario::kAsynchronous;
     cfg.seed = 7000 + seed;
-    for (std::uint32_t c = 0; c < crashes; ++c) {
+    cfg.pcfg.lazy_share_verify = opts.lazy_share_verify;
+    for (std::uint32_t c = 0; c < opts.crashes; ++c) {
       cfg.faults[n - 1 - c] = core::FaultKind::kCrash;
+    }
+    for (std::uint32_t b = 0; b < opts.bad_share_replicas; ++b) {
+      cfg.faults[n - 1 - opts.crashes - b] = core::FaultKind::kBadShares;
     }
     Experiment exp(cfg);
     exp.start();
@@ -107,6 +128,28 @@ FallbackStats measure(Protocol p, std::uint32_t n, int seeds, std::size_t commit
       agg.decode_misses += exp.replica(id).stats().decode_misses;
       agg.multicast_encodes += exp.replica(id).stats().multicast_encodes;
     }
+    for (ReplicaId id = 0; id < n; ++id) {
+      if (!exp.is_honest(id)) continue;
+      agg.shares_verified += exp.replica(id).stats().shares_verified;
+      agg.shares_deferred += exp.replica(id).stats().shares_deferred;
+      agg.combines_optimistic += exp.replica(id).stats().combines_optimistic;
+      agg.combine_fallbacks += exp.replica(id).stats().combine_fallbacks;
+      agg.bad_shares_rejected += exp.replica(id).stats().bad_shares_rejected;
+    }
+    std::uint64_t fp = 1469598103934665603ull;  // FNV-1a over the commit sequence
+    auto mix = [&fp](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        fp = (fp ^ ((v >> (8 * i)) & 0xff)) * 1099511628211ull;
+      }
+    };
+    for (const auto& rec : exp.replica(0).ledger().records()) {
+      mix(smr::BlockIdHash{}(rec.id));
+      mix(rec.round);
+      mix(rec.view);
+      mix(rec.height);
+      mix(rec.commit_time);
+    }
+    agg.ledger_fp.push_back(fp);
     const auto& net = exp.network().stats();
     agg.multicasts += net.multicasts;
     agg.copies_avoided += net.payload_copies_avoided;
@@ -136,7 +179,9 @@ int main(int argc, char** argv) {
   };
   for (const L7Row row : {L7Row{4, 0}, L7Row{7, 0}, L7Row{10, 0}, L7Row{4, 1}, L7Row{7, 2},
                           L7Row{10, 3}}) {
-    const FallbackStats st = measure(Protocol::kFallback3, row.n, 10, 6, row.crashes);
+    MeasureOpts opts;
+    opts.crashes = row.crashes;
+    const FallbackStats st = measure(Protocol::kFallback3, row.n, 10, 6, opts);
     const double p_commit = st.views ? double(st.views_with_commit) / st.views : 0;
     std::printf("  n=%-3u crashes=%-2u views=%-4d committed-in-view=%-4d P(commit)=%.2f\n",
                 row.n, row.crashes, st.views, st.views_with_commit, p_commit);
@@ -225,6 +270,66 @@ int main(int argc, char** argv) {
         .field("commits_per_sec", accept.commits_per_sec())
         .field("virtual_time_s", accept.virtual_time_us / 1e6)
         .append_to(json_path);
+  }
+
+  std::printf("\n--- optimistic share assembly: combine-then-verify accumulators -\n");
+  std::printf("    (eager verifies every arriving threshold share; lazy buffers\n");
+  std::printf("    unverified and pays ONE combine + ONE verify per certificate,\n");
+  std::printf("    falling back to per-share checks only when the combined check\n");
+  std::printf("    fails. Acceptance: always-fallback async n=16, >=5x fewer\n");
+  std::printf("    per-share verifications, identical commit sequence) ---------\n\n");
+  {
+    MeasureOpts eager_opts;
+    eager_opts.lazy_share_verify = false;
+    const FallbackStats eager = measure(Protocol::kAlwaysFallback, 16, 3, 4, eager_opts);
+    const FallbackStats lazy = measure(Protocol::kAlwaysFallback, 16, 3, 4);
+    const double reduction =
+        double(eager.shares_verified) / double(std::max<std::uint64_t>(1, lazy.shares_verified));
+    const bool same_ledgers = eager.ledger_fp == lazy.ledger_fp;
+    std::printf("    %-8s %14s %14s %12s %12s %12s\n", "mode", "shares-verif", "deferred",
+                "opt-combines", "fallbacks", "commits");
+    auto print_mode_row = [](const char* label, const FallbackStats& st) {
+      std::printf("    %-8s %14llu %14llu %12llu %12llu %12llu\n", label,
+                  static_cast<unsigned long long>(st.shares_verified),
+                  static_cast<unsigned long long>(st.shares_deferred),
+                  static_cast<unsigned long long>(st.combines_optimistic),
+                  static_cast<unsigned long long>(st.combine_fallbacks),
+                  static_cast<unsigned long long>(st.commits));
+    };
+    print_mode_row("eager", eager);
+    print_mode_row("lazy", lazy);
+    std::printf("    per-share verification reduction: %.0fx (acceptance: >=5x)\n", reduction);
+    std::printf("    commit sequences identical (ids+rounds+views+times): %s\n",
+                same_ledgers ? "yes" : "NO");
+
+    // Flood: f Byzantine replicas spray invalid shares into every pool;
+    // each poisoned certificate costs one failed combine + a per-share
+    // pass that evicts and bans, then assembly proceeds.
+    MeasureOpts flood_opts;
+    flood_opts.bad_share_replicas = 5;  // f for n=16
+    const FallbackStats flood = measure(Protocol::kAlwaysFallback, 16, 3, 4, flood_opts);
+    std::printf("    bad-share flood (f=5 Byzantine): commits=%llu fallbacks=%llu "
+                "rejected=%llu (liveness: %s)\n",
+                static_cast<unsigned long long>(flood.commits),
+                static_cast<unsigned long long>(flood.combine_fallbacks),
+                static_cast<unsigned long long>(flood.bad_shares_rejected),
+                flood.commits > 0 ? "yes" : "NO");
+    if (json_path != nullptr) {
+      bench::JsonLine("fig23_share_assembly")
+          .field_str("protocol", "always-fallback")
+          .field("n", std::uint64_t{16})
+          .field("eager_shares_verified", eager.shares_verified)
+          .field("lazy_shares_verified", lazy.shares_verified)
+          .field("lazy_shares_deferred", lazy.shares_deferred)
+          .field("combines_optimistic", lazy.combines_optimistic)
+          .field("combine_fallbacks", lazy.combine_fallbacks)
+          .field("verification_reduction", reduction)
+          .field("ledgers_identical", static_cast<std::uint64_t>(same_ledgers ? 1 : 0))
+          .field("flood_commits", flood.commits)
+          .field("flood_combine_fallbacks", flood.combine_fallbacks)
+          .field("flood_bad_shares_rejected", flood.bad_shares_rejected)
+          .append_to(json_path);
+    }
   }
 
   std::printf("\n--- message breakdown of asynchronous operation (n=7) ----------\n\n");

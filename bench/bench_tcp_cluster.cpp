@@ -45,14 +45,25 @@ struct RunResult {
   }
 };
 
+struct RunOpts {
+  bool kill_one_node = false;
+  /// Run the always-fallback baseline: every view is an O(n^2) multicast
+  /// storm of f-blocks/votes/coin shares — the worst-case write load for
+  /// the per-peer send queues.
+  bool always_fallback = false;
+  std::size_t verify_threads = 0;
+};
+
 RunResult run_cluster(std::uint32_t n, int millis, std::size_t batch_bytes,
-                      bool kill_one_node = false) {
+                      RunOpts opts = {}) {
   auto crypto = crypto::CryptoSystem::deal(QuorumParams::for_n(n), 7);
   const std::uint16_t port0 = alloc_ports(n);
   std::vector<PeerAddress> peers;
   for (std::uint32_t i = 0; i < n; ++i) {
     peers.push_back(PeerAddress{"127.0.0.1", static_cast<std::uint16_t>(port0 + i)});
   }
+  core::FallbackParams fb;
+  fb.always_fallback = opts.always_fallback;
   std::vector<std::unique_ptr<TcpNode>> nodes;
   for (ReplicaId i = 0; i < n; ++i) {
     NodeConfig cfg;
@@ -62,13 +73,14 @@ RunResult run_cluster(std::uint32_t n, int millis, std::size_t batch_bytes,
     cfg.seed = 42 + i;
     cfg.pcfg.base_timeout_us = 150'000;
     cfg.pcfg.batch_bytes = batch_bytes;
-    nodes.push_back(std::make_unique<TcpNode>(cfg, [](const core::ReplicaContext& ctx) {
-      return std::make_unique<core::FallbackReplica>(ctx, core::FallbackParams{});
+    cfg.verify_threads = opts.verify_threads;
+    nodes.push_back(std::make_unique<TcpNode>(cfg, [fb](const core::ReplicaContext& ctx) {
+      return std::make_unique<core::FallbackReplica>(ctx, fb);
     }));
   }
   for (auto& node : nodes) node->start();
 
-  if (kill_one_node) {
+  if (opts.kill_one_node) {
     std::this_thread::sleep_for(std::chrono::milliseconds(millis / 3));
     nodes[1]->stop();  // hard crash of one replica mid-run
     std::this_thread::sleep_for(std::chrono::milliseconds(2 * millis / 3));
@@ -147,9 +159,41 @@ int main(int argc, char** argv) {
                 r.blocks_per_sec * batch / 1e6);
   }
 
+  std::printf("\n--- multicast load: always-fallback baseline (n=7, 1s each) ----\n");
+  std::printf("    every view multicasts f-blocks, f-votes and coin shares from\n");
+  std::printf("    all n replicas (O(n^2) frames/decision) — the send queues must\n");
+  std::printf("    coalesce bursts or the poll threads drown in write syscalls.\n");
+  std::printf("    %-14s %12s %14s %12s %12s\n", "verify_threads", "blocks/s", "frames/writev",
+              "consistent", "drops");
+  for (std::size_t vt : {std::size_t{0}, std::size_t{2}}) {
+    RunOpts opts;
+    opts.always_fallback = true;
+    opts.verify_threads = vt;
+    const RunResult r = run_cluster(7, 1000, 0, opts);
+    std::printf("    %-14zu %12.0f %14.2f %12s %12llu\n", vt, r.blocks_per_sec,
+                r.frames_per_writev(), r.consistent ? "yes" : "NO",
+                static_cast<unsigned long long>(r.net.sendq_dropped_frames));
+    if (json_path != nullptr) {
+      bench::JsonLine("tcp_cluster_multicast_load")
+          .field("n", std::uint64_t{7})
+          .field("always_fallback", std::uint64_t{1})
+          .field("verify_threads", std::uint64_t{vt})
+          .field("blocks_per_sec", r.blocks_per_sec)
+          .field("writev_batches", r.net.writev_batches)
+          .field("writev_frames", r.net.writev_frames)
+          .field("frames_per_writev", r.frames_per_writev())
+          .field("payload_copies_avoided", r.net.payload_copies_avoided)
+          .field("sendq_dropped_frames", r.net.sendq_dropped_frames)
+          .field("wall_time_s", r.wall_seconds)
+          .append_to(json_path);
+    }
+  }
+
   std::printf("\n--- crash tolerance on real sockets (n=4, one node dies) -------\n");
   {
-    const RunResult r = run_cluster(4, 1500, 0, /*kill_one_node=*/true);
+    RunOpts opts;
+    opts.kill_one_node = true;
+    const RunResult r = run_cluster(4, 1500, 0, opts);
     std::printf("    survivors keep committing: %s (%.0f blocks/s overall, "
                 "consistent: %s, fallbacks: %llu)\n",
                 r.blocks_per_sec > 0 ? "yes" : "NO", r.blocks_per_sec,

@@ -49,6 +49,14 @@ struct ProtocolConfig {
   /// replica constructs its own cache; harness-shared caches size
   /// themselves.
   std::size_t decode_cache_capacity = 1024;
+
+  /// Optimistic quorum assembly (combine-then-verify): buffer incoming
+  /// threshold-signature shares unverified and check one combined
+  /// signature per certificate, falling back to per-share verification
+  /// only when that check fails. Off = eager per-share verification on
+  /// arrival (kept for differential testing; both modes produce
+  /// byte-identical ledgers — see docs/PROTOCOL.md §9).
+  bool lazy_share_verify = true;
 };
 
 /// The predefined leader sequence L_1, L_2, ... (rounds are 1-based).

@@ -18,7 +18,8 @@ void DiemBftReplica::spam_timeouts() {
   if (halted()) return;
   smr::DiemTimeoutMsg msg;
   msg.round = r_cur_;
-  msg.round_share = crypto_sys().quorum_sigs.sign_share(id(), smr::tc_signing_message(r_cur_));
+  msg.round_share = maybe_corrupt(
+      crypto_sys().quorum_sigs.sign_share(id(), smr::tc_signing_message(r_cur_)));
   msg.qc_high = qc_high();
   multicast(std::move(msg));
   sim().schedule_after(config().base_timeout_us / 2, [this] { spam_timeouts(); });
@@ -126,7 +127,8 @@ void DiemBftReplica::on_timer_fired(Round round) {
   ++stats_.timeouts_sent;
   smr::DiemTimeoutMsg msg;
   msg.round = r_cur_;
-  msg.round_share = crypto_sys().quorum_sigs.sign_share(id(), smr::tc_signing_message(r_cur_));
+  msg.round_share = maybe_corrupt(
+      crypto_sys().quorum_sigs.sign_share(id(), smr::tc_signing_message(r_cur_)));
   msg.qc_high = qc_high();
   multicast(std::move(msg));
 }
@@ -161,46 +163,45 @@ void DiemBftReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
   vote.block_id = id_of_block;
   vote.round = r;
   vote.view = 0;
-  vote.share = crypto_sys().quorum_sigs.sign_share(
-      id(), smr::cert_signing_message(smr::CertKind::kQuorum, id_of_block, r, 0, 0, 0));
+  vote.share = maybe_corrupt(crypto_sys().quorum_sigs.sign_share(
+      id(), smr::cert_signing_message(smr::CertKind::kQuorum, id_of_block, r, 0, 0, 0)));
   send(leader_of(r + 1), std::move(vote));
 }
 
 void DiemBftReplica::handle_vote(ReplicaId from, const smr::VoteMsg& msg) {
   (void)from;  // the share authenticates its signer
   if (msg.view != 0) return;
-  const Bytes signing =
-      smr::cert_signing_message(smr::CertKind::kQuorum, msg.block_id, msg.round, 0, 0, 0);
-  if (!crypto_sys().quorum_sigs.verify_share(msg.share, signing)) return;
-
   const auto key = std::make_tuple(msg.block_id, msg.round);
-  if (votes_.add(key, msg.share) < params().quorum()) return;
+  auto sig = add_share(votes_, key, msg.share, crypto_sys().quorum_sigs, [&] {
+    return smr::cert_signing_message(smr::CertKind::kQuorum, msg.block_id, msg.round, 0, 0, 0);
+  });
+  if (!sig) return;
 
-  auto qc = smr::combine_certificate(crypto_sys(), smr::CertKind::kQuorum, msg.block_id,
-                                     msg.round, 0, 0, 0, votes_.shares(key));
-  if (!qc) return;
-  note_verified(*qc);  // combined from verified shares
-  lock_step(*qc, msg.share.signer);
+  smr::Certificate qc;
+  qc.kind = smr::CertKind::kQuorum;
+  qc.block_id = msg.block_id;
+  qc.round = msg.round;
+  qc.sig = *sig;
+  note_verified(qc);  // the accumulator verified the combined signature
+  lock_step(qc, msg.share.signer);
 }
 
 void DiemBftReplica::handle_timeout(ReplicaId from, const smr::DiemTimeoutMsg& msg) {
-  if (!crypto_sys().quorum_sigs.verify_share(msg.round_share,
-                                             smr::tc_signing_message(msg.round))) {
-    return;
-  }
-  // Catch up on the attached qc_high (kind-check first: it is free and
-  // skips the hash/verify work for non-QC certificates entirely).
+  // Catch up on the attached qc_high first (kind-check is free and skips
+  // the hash/verify work for non-QC certificates entirely); the QC stands
+  // on its own verification regardless of the share's validity.
   if (msg.qc_high.kind == smr::CertKind::kQuorum && cached_verify(msg.qc_high)) {
     lock_step(msg.qc_high, from);
   }
 
   if (msg.round <= highest_tc_formed_) return;
-  if (timeout_shares_.add(msg.round, msg.round_share) < params().quorum()) return;
-  auto tc = smr::combine_tc(crypto_sys(), msg.round, timeout_shares_.shares(msg.round));
-  if (!tc) return;
-  note_verified(*tc);  // combined from verified shares
+  auto sig = add_share(timeout_shares_, msg.round, msg.round_share, crypto_sys().quorum_sigs,
+                       [&] { return smr::tc_signing_message(msg.round); });
+  if (!sig) return;
+  const smr::TimeoutCert tc{msg.round, *sig};
+  note_verified(tc);  // the accumulator verified the combined signature
   highest_tc_formed_ = msg.round;
-  handle_tc(*tc);
+  handle_tc(tc);
 }
 
 void DiemBftReplica::handle_tc(const smr::TimeoutCert& tc) {

@@ -58,8 +58,11 @@ class DiemBftReplica final : public ReplicaBase {
   /// proposal so lagging replicas can advance).
   std::optional<smr::TimeoutCert> entry_tc_;
 
-  SigPool<std::tuple<smr::BlockId, Round>> votes_;  ///< collected as L_{r+1}
-  SigPool<Round> timeout_shares_;
+  // Share accumulators (combine-then-verify; see smr/share_accumulator.h).
+  // Pool keys cover every field of the signing message, so one accumulator
+  // never mixes shares of different messages.
+  smr::SharePool<std::tuple<smr::BlockId, Round>> votes_;  ///< collected as L_{r+1}
+  smr::SharePool<Round> timeout_shares_;
   Round highest_tc_formed_ = 0;  ///< don't re-form TCs for old rounds
 };
 

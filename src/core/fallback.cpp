@@ -184,8 +184,8 @@ void FallbackReplica::spam_timeouts() {
   if (halted()) return;
   smr::FbTimeoutMsg msg;
   msg.view = v_cur_;
-  msg.view_share =
-      crypto_sys().quorum_sigs.sign_share(id(), smr::ftc_signing_message(v_cur_));
+  msg.view_share = maybe_corrupt(
+      crypto_sys().quorum_sigs.sign_share(id(), smr::ftc_signing_message(v_cur_)));
   msg.qc_high = qc_high();
   msg.coins = evidence_for(qc_high());
   multicast(std::move(msg));
@@ -224,23 +224,26 @@ void FallbackReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
   vote.block_id = block_id;
   vote.round = r;
   vote.view = v;
-  vote.share = crypto_sys().quorum_sigs.sign_share(
-      id(), smr::cert_signing_message(smr::CertKind::kQuorum, block_id, r, v, 0, 0));
+  vote.share = maybe_corrupt(crypto_sys().quorum_sigs.sign_share(
+      id(), smr::cert_signing_message(smr::CertKind::kQuorum, block_id, r, v, 0, 0)));
   send(leader_of(r + 1), std::move(vote));
 }
 
 void FallbackReplica::handle_vote(const smr::VoteMsg& msg) {
-  const Bytes signing = smr::cert_signing_message(smr::CertKind::kQuorum, msg.block_id,
-                                                  msg.round, msg.view, 0, 0);
-  if (!crypto_sys().quorum_sigs.verify_share(msg.share, signing)) return;
-
   const auto key = std::make_tuple(msg.block_id, msg.round, msg.view);
-  if (votes_.add(key, msg.share) < params().quorum()) return;
-  auto qc = smr::combine_certificate(crypto_sys(), smr::CertKind::kQuorum, msg.block_id,
-                                     msg.round, msg.view, 0, 0, votes_.shares(key));
-  if (!qc) return;
-  note_verified(*qc);  // combined from verified shares
-  lock_full(*qc, msg.share.signer);
+  auto sig = add_share(votes_, key, msg.share, crypto_sys().quorum_sigs, [&] {
+    return smr::cert_signing_message(smr::CertKind::kQuorum, msg.block_id, msg.round,
+                                     msg.view, 0, 0);
+  });
+  if (!sig) return;
+  smr::Certificate qc;
+  qc.kind = smr::CertKind::kQuorum;
+  qc.block_id = msg.block_id;
+  qc.round = msg.round;
+  qc.view = msg.view;
+  qc.sig = *sig;
+  note_verified(qc);  // the accumulator verified the combined signature
+  lock_full(qc, msg.share.signer);
 }
 
 void FallbackReplica::arm_timer() {
@@ -263,8 +266,8 @@ void FallbackReplica::on_timer_fired(Round round) {
   ++stats_.timeouts_sent;
   smr::FbTimeoutMsg msg;
   msg.view = v_cur_;
-  msg.view_share =
-      crypto_sys().quorum_sigs.sign_share(id(), smr::ftc_signing_message(v_cur_));
+  msg.view_share = maybe_corrupt(
+      crypto_sys().quorum_sigs.sign_share(id(), smr::ftc_signing_message(v_cur_)));
   msg.qc_high = qc_high();
   msg.coins = evidence_for(qc_high());
   multicast(std::move(msg));
@@ -275,23 +278,24 @@ void FallbackReplica::on_timer_fired(Round round) {
 // ---------------------------------------------------------------------------
 
 void FallbackReplica::handle_fb_timeout(ReplicaId from, const smr::FbTimeoutMsg& msg) {
-  if (!crypto_sys().quorum_sigs.verify_share(msg.view_share,
-                                             smr::ftc_signing_message(msg.view))) {
-    return;
-  }
+  // Attached coins and qc_high stand on their own verification, so process
+  // them before the share (whose validity the accumulator establishes
+  // lazily — an invalid share must not suppress the catch-up either way).
   install_attached_coins(msg.coins);
   // "Upon receiving a valid timeout message, execute Lock" (on qc_high).
   if (cached_verify(msg.qc_high)) lock_full(msg.qc_high, from);
 
   if (msg.view < v_cur_) return;  // stale view; shares cannot help anymore
   if (any_ftc_formed_ && msg.view <= highest_ftc_formed_) return;
-  if (view_timeout_shares_.add(msg.view, msg.view_share) < params().quorum()) return;
-  auto ftc = smr::combine_ftc(crypto_sys(), msg.view, view_timeout_shares_.shares(msg.view));
-  if (!ftc) return;
-  note_verified(*ftc);  // combined from verified shares
+  auto sig = add_share(view_timeout_shares_, msg.view, msg.view_share,
+                       crypto_sys().quorum_sigs,
+                       [&] { return smr::ftc_signing_message(msg.view); });
+  if (!sig) return;
+  const smr::FallbackTC ftc{msg.view, *sig};
+  note_verified(ftc);  // the accumulator verified the combined signature
   highest_ftc_formed_ = msg.view;
   any_ftc_formed_ = true;
-  handle_ftc(*ftc);
+  handle_ftc(ftc);
 }
 
 void FallbackReplica::handle_ftc(const smr::FallbackTC& ftc) {
@@ -434,8 +438,8 @@ void FallbackReplica::handle_fb_proposal(ReplicaId from, smr::FbProposalMsg&& ms
   vote.view = v;
   vote.height = h;
   vote.chain_owner = j;
-  vote.share = crypto_sys().quorum_sigs.sign_share(
-      id(), smr::cert_signing_message(smr::CertKind::kFallback, block_id, r, v, h, j));
+  vote.share = maybe_corrupt(crypto_sys().quorum_sigs.sign_share(
+      id(), smr::cert_signing_message(smr::CertKind::kFallback, block_id, r, v, h, j)));
   send(j, std::move(vote));
 }
 
@@ -443,28 +447,42 @@ void FallbackReplica::handle_fb_vote(const smr::FbVoteMsg& msg) {
   if (msg.chain_owner != id() || msg.view != v_cur_) return;
   auto it = own_fblock_.find(msg.height);
   if (it == own_fblock_.end() || it->second != msg.block_id) return;
-  const Bytes signing = smr::cert_signing_message(smr::CertKind::kFallback, msg.block_id,
-                                                  msg.round, msg.view, msg.height, id());
-  if (!crypto_sys().quorum_sigs.verify_share(msg.share, signing)) return;
+  // The fb_votes_ pool is keyed by (block, height) but the signing message
+  // also covers round and view; pin them against our stored f-block so a
+  // vote with mismatched fields (whose share signs a different message)
+  // can never seed or pollute the accumulator for this block.
+  const smr::Block* own = store().get(msg.block_id);
+  if (own == nullptr || own->round != msg.round || own->view != msg.view ||
+      own->height != msg.height) {
+    return;
+  }
 
   const auto key = std::make_tuple(msg.block_id, msg.height);
-  if (fb_votes_.add(key, msg.share) < params().quorum()) return;
-  auto fqc =
-      smr::combine_certificate(crypto_sys(), smr::CertKind::kFallback, msg.block_id,
-                               msg.round, msg.view, msg.height, id(), fb_votes_.shares(key));
-  if (!fqc) return;
-  note_verified(*fqc);  // combined from verified shares
-  note_fallback_qc(*fqc, id());
+  auto sig = add_share(fb_votes_, key, msg.share, crypto_sys().quorum_sigs, [&] {
+    return smr::cert_signing_message(smr::CertKind::kFallback, msg.block_id, msg.round,
+                                     msg.view, msg.height, id());
+  });
+  if (!sig) return;
+  smr::Certificate fqc;
+  fqc.kind = smr::CertKind::kFallback;
+  fqc.block_id = msg.block_id;
+  fqc.round = msg.round;
+  fqc.view = msg.view;
+  fqc.height = msg.height;
+  fqc.proposer = id();
+  fqc.sig = *sig;
+  note_verified(fqc);  // the accumulator verified the combined signature
+  note_fallback_qc(fqc, id());
 
   // ---- Fallback Propose (Fig 2) ----
   if (!fallback_mode_) return;
-  if (fqc->height == fb_.chain_len) {
+  if (fqc.height == fb_.chain_len) {
     if (!sent_top_fqc_) {
       sent_top_fqc_ = true;
-      multicast(smr::FbQcMsg{*fqc, {}});
+      multicast(smr::FbQcMsg{fqc, {}});
     }
-  } else if (own_height_ == fqc->height) {
-    propose_fblock(fqc->height + 1, *fqc, std::nullopt);
+  } else if (own_height_ == fqc.height) {
+    propose_fblock(fqc.height + 1, fqc, std::nullopt);
   }
 }
 
@@ -521,7 +539,7 @@ void FallbackReplica::maybe_trigger_election() {
   sent_coin_share_view_ = v_cur_;
   smr::CoinShareMsg msg;
   msg.view = v_cur_;
-  msg.share = crypto_sys().coin.coin_share(id(), v_cur_);
+  msg.share = maybe_corrupt(crypto_sys().coin.coin_share(id(), v_cur_));
   multicast(std::move(msg));
 }
 
@@ -531,12 +549,12 @@ void FallbackReplica::handle_coin_share(const smr::CoinShareMsg& msg) {
   // in, so anything far ahead of us is Byzantine pool-stuffing: without a
   // horizon the coin_shares_ pool grows without bound between prunes.
   if (msg.view > v_cur_ + kCoinViewHorizon) return;
-  if (!crypto_sys().coin.verify_coin_share(msg.share, msg.view)) return;
-  if (coin_shares_.add(msg.view, msg.share) < params().coin_quorum()) return;
-  auto coin = smr::combine_coin_qc(crypto_sys(), msg.view, coin_shares_.shares(msg.view));
-  if (!coin) return;
-  note_verified(*coin);  // combined from verified shares
-  process_coin(*coin);
+  auto sig = add_share(coin_shares_, msg.view, msg.share, crypto_sys().coin.scheme(),
+                       [&] { return crypto::CommonCoin::coin_message(msg.view); });
+  if (!sig) return;
+  const smr::CoinQC coin{msg.view, *sig};
+  note_verified(coin);  // the accumulator verified the combined signature
+  process_coin(coin);
 }
 
 void FallbackReplica::process_coin(const smr::CoinQC& coin) {

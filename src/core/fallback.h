@@ -130,10 +130,14 @@ class FallbackReplica final : public ReplicaBase {
   std::optional<View> sent_coin_share_view_;
   std::optional<smr::FallbackTC> entered_ftc_;  ///< f-TC of the entered view
 
-  SigPool<View> view_timeout_shares_;
-  SigPool<std::tuple<smr::BlockId, FallbackHeight>> fb_votes_;
-  SigPool<View> coin_shares_;
-  SigPool<std::tuple<smr::BlockId, Round, View>> votes_;  ///< steady-state votes
+  // Share accumulators (combine-then-verify; see smr/share_accumulator.h).
+  // Pool keys — together with the handler guards — pin every field of the
+  // signing message, so one accumulator never mixes shares of different
+  // messages (fb_votes_ checks the stored block's round/view/height).
+  smr::SharePool<View> view_timeout_shares_;
+  smr::SharePool<std::tuple<smr::BlockId, FallbackHeight>> fb_votes_;
+  smr::SharePool<View> coin_shares_;
+  smr::SharePool<std::tuple<smr::BlockId, Round, View>> votes_;  ///< steady-state votes
   View highest_ftc_formed_ = 0;
   bool any_ftc_formed_ = false;
 };

@@ -28,6 +28,12 @@ enum class FaultKind : std::uint8_t {
   /// predicate. (Convention used by the fault injector: batches are
   /// prefixed with 0xFF; install a validator that rejects that prefix.)
   kInvalidTxns,
+  /// Participates normally but corrupts every threshold-signature share
+  /// it sends (votes, timeout shares, f-votes, coin shares). Stresses the
+  /// optimistic combine-then-verify path: honest accumulators must detect
+  /// the bad shares via the failed combined check, evict them, and still
+  /// assemble certificates from the honest 2f+1.
+  kBadShares,
 };
 
 struct FaultSpec {
@@ -39,6 +45,7 @@ struct FaultSpec {
   bool withholds_votes() const { return kind == FaultKind::kWithholdVotes; }
   bool spams_timeouts() const { return kind == FaultKind::kTimeoutSpam; }
   bool proposes_invalid_txns() const { return kind == FaultKind::kInvalidTxns; }
+  bool sends_bad_shares() const { return kind == FaultKind::kBadShares; }
 };
 
 }  // namespace repro::core

@@ -76,6 +76,18 @@ struct ReplicaStats {
   /// over replicas this equals NetStats::multicasts (the benches print
   /// the ratio as serializations/multicast = 1).
   std::uint64_t multicast_encodes = 0;
+  /// Share accumulators (optimistic quorum assembly): per-share
+  /// verify_share calls actually paid, shares buffered without immediate
+  /// verification, certificates formed by a single combine-then-verify,
+  /// combined checks that failed into the per-share fallback pass, and
+  /// invalid shares evicted/rejected. In eager mode (lazy_share_verify
+  /// off) shares_verified counts every accepted-or-rejected share and the
+  /// optimistic/fallback counters stay 0.
+  std::uint64_t shares_verified = 0;
+  std::uint64_t shares_deferred = 0;
+  std::uint64_t combines_optimistic = 0;
+  std::uint64_t combine_fallbacks = 0;
+  std::uint64_t bad_shares_rejected = 0;
 };
 
 class IReplica {

@@ -14,6 +14,7 @@
 #include "smr/ledger.h"
 #include "smr/mempool.h"
 #include "smr/messages.h"
+#include "smr/share_accumulator.h"
 
 namespace repro::core {
 
@@ -128,6 +129,37 @@ class ReplicaBase : public IReplica {
   template <typename Cert>
   void note_verified(const Cert& cert) {
     smr::note_verified(vcache_, cert);
+  }
+
+  // Optimistic quorum assembly ------------------------------------------
+  // Feed one share into a SharePool under this replica's share
+  // environment (scheme, Lagrange-coefficient memo, counters, lazy/eager
+  // mode) and sync the counters into stats(). Returns the combined
+  // signature exactly once, on the add that completes the quorum.
+  template <typename Key, typename MakeMsg>
+  std::optional<crypto::ThresholdSig> add_share(smr::SharePool<Key>& pool, const Key& key,
+                                                const crypto::PartialSig& share,
+                                                const crypto::ThresholdScheme& scheme,
+                                                MakeMsg&& make_msg) {
+    const smr::ShareEnv env{&scheme, &lagrange_, &share_stats_, cfg_.lazy_share_verify};
+    auto sig = pool.add(env, key, share, std::forward<MakeMsg>(make_msg));
+    stats_.shares_verified = share_stats_.shares_verified;
+    stats_.shares_deferred = share_stats_.shares_deferred;
+    stats_.combines_optimistic = share_stats_.combines_optimistic;
+    stats_.combine_fallbacks = share_stats_.combine_fallbacks;
+    stats_.bad_shares_rejected = share_stats_.bad_shares_rejected;
+    return sig;
+  }
+
+  /// Per-signer blame counters for rejected shares (flood diagnosis).
+  const std::vector<std::uint64_t>& share_blame() const { return share_stats_.blame; }
+
+  /// Fault injection for kBadShares: corrupt every share this replica
+  /// emits (flip the low bit of the field value — always invalid, since
+  /// the correct value is unique).
+  crypto::PartialSig maybe_corrupt(crypto::PartialSig share) const {
+    if (cfg_.fault.sends_bad_shares()) share.value ^= 1;
+    return share;
   }
 
   // Ranking / endorsement ----------------------------------------------
@@ -254,6 +286,8 @@ class ReplicaBase : public IReplica {
   bool halted_ = false;
   crypto::VerifierCache vcache_;
   std::shared_ptr<smr::DecodeCache> dcache_;
+  crypto::LagrangeCache lagrange_;
+  smr::ShareStats share_stats_;
 
   /// Sign + encode once; shared by send/multicast.
   SharedBytes encode_signed(smr::Message& msg);

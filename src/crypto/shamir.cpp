@@ -38,6 +38,89 @@ Fp lagrange_coefficient_at_zero(std::span<const ReplicaId> ids, std::size_t inde
   return num * den.inverse();
 }
 
+std::vector<Fp> lagrange_coefficients_at_zero(std::span<const ReplicaId> ids) {
+  const std::size_t t = ids.size();
+  std::vector<Fp> coeffs(t);
+  if (t == 0) return coeffs;
+  if (t == 1) {
+    coeffs[0] = Fp(1);
+    return coeffs;
+  }
+
+  std::vector<Fp> xs(t);
+  for (std::size_t i = 0; i < t; ++i) xs[i] = Fp(static_cast<std::uint64_t>(ids[i]) + 1);
+
+  // Numerators: num_i = prod_{j != i} (0 - x_j), via prefix/suffix products.
+  std::vector<Fp> prefix(t), suffix(t);
+  Fp acc(1);
+  for (std::size_t i = 0; i < t; ++i) {
+    prefix[i] = acc;
+    acc *= Fp(0) - xs[i];
+  }
+  acc = Fp(1);
+  for (std::size_t i = t; i-- > 0;) {
+    suffix[i] = acc;
+    acc *= Fp(0) - xs[i];
+  }
+
+  // Denominators: den_i = prod_{j != i} (x_i - x_j); invert all of them with
+  // a single field inversion (Montgomery batch inversion). inverse() is a
+  // ~60-multiplication exponentiation, so this is the win over per-index
+  // lagrange_coefficient_at_zero calls.
+  std::vector<Fp> den(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    Fp d(1);
+    for (std::size_t j = 0; j < t; ++j) {
+      if (j == i) continue;
+      REPRO_ASSERT_MSG(!(xs[j] == xs[i]), "duplicate share ids in interpolation");
+      d *= xs[i] - xs[j];
+    }
+    den[i] = d;
+  }
+  std::vector<Fp> running(t);
+  acc = Fp(1);
+  for (std::size_t i = 0; i < t; ++i) {
+    running[i] = acc;
+    acc *= den[i];
+  }
+  Fp inv_all = acc.inverse();
+  for (std::size_t i = t; i-- > 0;) {
+    const Fp inv_i = inv_all * running[i];
+    inv_all *= den[i];
+    coeffs[i] = prefix[i] * suffix[i] * inv_i;
+  }
+  return coeffs;
+}
+
+LagrangeCache::LagrangeCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::size_t LagrangeCache::IdsHash::operator()(const std::vector<ReplicaId>& ids) const {
+  // FNV-1a over the id words; signer sets are tiny so this is cheap.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const ReplicaId id : ids) {
+    h ^= id;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+const std::vector<Fp>& LagrangeCache::coefficients(std::span<const ReplicaId> ids) {
+  std::vector<ReplicaId> key(ids.begin(), ids.end());
+  if (auto it = index_.find(key); it != index_.end()) {
+    ++hits_;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return entries_.front().coeffs;
+  }
+  ++misses_;
+  entries_.push_front(Entry{std::move(key), lagrange_coefficients_at_zero(ids)});
+  index_.emplace(entries_.front().ids, entries_.begin());
+  if (entries_.size() > capacity_) {
+    index_.erase(entries_.back().ids);
+    entries_.pop_back();
+  }
+  return entries_.front().coeffs;
+}
+
 Fp reconstruct_secret(std::span<const Share> shares, std::uint32_t t) {
   REPRO_ASSERT(shares.size() >= t);
   std::vector<ReplicaId> ids;

@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -29,6 +31,45 @@ std::vector<Share> deal_shares(Fp secret, std::uint32_t n, std::uint32_t t, Rng&
 /// Lagrange coefficient λ_i at x = 0 for the set of x-coordinates
 /// {id+1 : id in ids}; `index` selects which member the coefficient is for.
 Fp lagrange_coefficient_at_zero(std::span<const ReplicaId> ids, std::size_t index);
+
+/// All t coefficients λ_i(0) for `ids` at once. Equivalent to calling
+/// lagrange_coefficient_at_zero for each index, but shares the numerator
+/// products and batch-inverts the denominators (Montgomery's trick), so the
+/// whole vector costs one field inversion instead of t.
+std::vector<Fp> lagrange_coefficients_at_zero(std::span<const ReplicaId> ids);
+
+/// Bounded memo of Lagrange coefficient vectors keyed by the exact signer
+/// set (order-sensitive: callers pass ids in a canonical order). Quorums
+/// repeat heavily round over round — with n replicas there are few distinct
+/// first-t signer sets in a steady run — so repeat lookups cost a hash of t
+/// ids instead of ~t² field ops. LRU-evicts beyond `capacity` entries.
+class LagrangeCache {
+ public:
+  explicit LagrangeCache(std::size_t capacity = 64);
+
+  /// Coefficients for `ids`; computed on miss, memoized on return.
+  /// The reference is valid until the next coefficients() call.
+  const std::vector<Fp>& coefficients(std::span<const ReplicaId> ids);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::vector<ReplicaId> ids;
+    std::vector<Fp> coeffs;
+  };
+  struct IdsHash {
+    std::size_t operator()(const std::vector<ReplicaId>& ids) const;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<std::vector<ReplicaId>, std::list<Entry>::iterator, IdsHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
 
 /// Reconstruct the secret from exactly-threshold-many distinct shares.
 /// Caller must pass >= t distinct shares; only the first t are used.

@@ -32,22 +32,31 @@ PartialSig ThresholdScheme::sign_share(ReplicaId signer, BytesView message) cons
 }
 
 bool ThresholdScheme::verify_share(const PartialSig& share, BytesView message) const {
+  return verify_share_at(share, message_point(message));
+}
+
+bool ThresholdScheme::verify_share_at(const PartialSig& share, Fp point) const {
   if (share.signer >= n_) return false;
-  const Fp h = message_point(message);
-  return (shares_[share.signer] * h).value() == share.value;
+  return (shares_[share.signer] * point).value() == share.value;
 }
 
 std::optional<ThresholdSig> ThresholdScheme::combine(std::span<const PartialSig> shares,
                                                      BytesView message) const {
-  // Collect the first t distinct valid signers.
+  // Duplicate signers are a caller bug (or an equivocating sender that the
+  // caller failed to filter): reject the whole batch instead of silently
+  // picking one of the conflicting shares.
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    for (std::size_t j = i + 1; j < shares.size(); ++j) {
+      if (shares[i].signer == shares[j].signer) return std::nullopt;
+    }
+  }
+
+  // Collect the first t valid signers.
+  const Fp h = message_point(message);
   std::vector<PartialSig> picked;
   picked.reserve(t_);
   for (const auto& sh : shares) {
-    if (!verify_share(sh, message)) continue;
-    const bool dup = std::any_of(picked.begin(), picked.end(), [&](const PartialSig& p) {
-      return p.signer == sh.signer;
-    });
-    if (dup) continue;
+    if (!verify_share_at(sh, h)) continue;
     picked.push_back(sh);
     if (picked.size() == t_) break;
   }
@@ -57,16 +66,26 @@ std::optional<ThresholdSig> ThresholdScheme::combine(std::span<const PartialSig>
   ids.reserve(t_);
   for (const auto& p : picked) ids.push_back(p.signer);
 
+  return combine_with_coefficients(picked, lagrange_coefficients_at_zero(ids));
+}
+
+ThresholdSig ThresholdScheme::combine_with_coefficients(std::span<const PartialSig> shares,
+                                                        std::span<const Fp> coefficients) const {
+  REPRO_ASSERT(shares.size() == coefficients.size());
+  REPRO_ASSERT(shares.size() == t_);
   Fp combined;
-  for (std::size_t i = 0; i < picked.size(); ++i) {
-    combined += Fp(picked[i].value) * lagrange_coefficient_at_zero(ids, i);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    combined += Fp(shares[i].value) * coefficients[i];
   }
   return ThresholdSig{combined.value()};
 }
 
 bool ThresholdScheme::verify(const ThresholdSig& sig, BytesView message) const {
-  const Fp h = message_point(message);
-  return (secret_ * h).value() == sig.value;
+  return verify_at(sig, message_point(message));
+}
+
+bool ThresholdScheme::verify_at(const ThresholdSig& sig, Fp point) const {
+  return (secret_ * point).value() == sig.value;
 }
 
 CommonCoin CommonCoin::deal(std::uint32_t n, std::uint32_t f_plus_1, Rng& rng) {

@@ -65,14 +65,32 @@ class ThresholdScheme {
   /// Checks that a share is the correct evaluation for its signer.
   bool verify_share(const PartialSig& share, BytesView message) const;
 
-  /// Combines >= t shares with distinct signers into a threshold
-  /// signature. Returns nullopt if fewer than t distinct valid signers.
-  /// Performs real Lagrange interpolation (cost ~t^2 field ops).
+  /// verify_share against an already-computed message_point — the hot-path
+  /// variant: 2f+1 shares on the same message hash the identical point, so
+  /// accumulators compute it once per target and skip the SHA-256 here.
+  bool verify_share_at(const PartialSig& share, Fp point) const;
+
+  /// Combines >= t shares into a threshold signature. Shares must have
+  /// distinct signers — any duplicate signer makes the whole call fail
+  /// (returns nullopt) rather than silently depending on callers to
+  /// pre-deduplicate. Invalid shares are skipped; returns nullopt if fewer
+  /// than t valid signers remain. Performs real Lagrange interpolation
+  /// (cost ~t^2 field ops).
   std::optional<ThresholdSig> combine(std::span<const PartialSig> shares,
                                       BytesView message) const;
 
+  /// Pure interpolation of exactly-threshold-many shares with caller-
+  /// supplied Lagrange coefficients (one per share, same order). Does NOT
+  /// verify anything — the combine-then-verify path checks the result with
+  /// a single verify_at instead of t verify_share calls.
+  ThresholdSig combine_with_coefficients(std::span<const PartialSig> shares,
+                                         std::span<const Fp> coefficients) const;
+
   /// Verifies a combined signature on `message`.
   bool verify(const ThresholdSig& sig, BytesView message) const;
+
+  /// verify against an already-computed message_point.
+  bool verify_at(const ThresholdSig& sig, Fp point) const;
 
  private:
   std::uint32_t n_ = 0;
@@ -92,6 +110,14 @@ class CommonCoin {
 
   std::uint32_t threshold() const { return scheme_.threshold(); }
 
+  /// The underlying f+1-threshold scheme, for share accumulators that
+  /// assemble coin QCs with the same combine-then-verify machinery as
+  /// quorum certificates.
+  const ThresholdScheme& scheme() const { return scheme_; }
+
+  /// The domain-separated message coin shares sign for `view`.
+  static Bytes coin_message(View view);
+
   PartialSig coin_share(ReplicaId signer, View view) const;
   bool verify_coin_share(const PartialSig& share, View view) const;
 
@@ -103,8 +129,6 @@ class CommonCoin {
   ReplicaId leader_from(const ThresholdSig& sig) const;
 
  private:
-  static Bytes coin_message(View view);
-
   std::uint32_t n_ = 0;
   ThresholdScheme scheme_;
 };

@@ -81,7 +81,89 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t len, SimTime budget
   return true;
 }
 
+/// Extra zero-timeout poll passes per loop iteration: after the blocking
+/// poll wakes, the loop re-polls and keeps reading while more input is
+/// already pending, so a burst of frames (an always-fallback view fans
+/// several multicasts at every replica) is processed — and its responses
+/// queued — before the single flush_writes() of the iteration. Bounded so
+/// a firehose peer cannot starve timers; one sweep costs one poll(0).
+constexpr int kMaxReadSweeps = 4;
+
 }  // namespace
+
+// ---- VerifyPool -------------------------------------------------------------
+
+VerifyPool::VerifyPool(std::shared_ptr<const crypto::CryptoSystem> crypto, std::size_t threads,
+                       std::function<void()> wake)
+    : crypto_(std::move(crypto)), wake_(std::move(wake)) {
+  REPRO_ASSERT(crypto_ != nullptr && threads > 0);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+VerifyPool::~VerifyPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void VerifyPool::submit(ReplicaId from, Bytes payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(Job{next_seq_++, from, std::move(payload)});
+  }
+  cv_.notify_one();
+}
+
+std::vector<VerifyPool::Result> VerifyPool::drain_ready() {
+  std::vector<Result> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = done_.find(next_deliver_); it != done_.end();
+       it = done_.find(next_deliver_)) {
+    out.push_back(std::move(it->second));
+    done_.erase(it);
+    ++next_deliver_;
+  }
+  return out;
+}
+
+std::size_t VerifyPool::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::size_t>(next_seq_ - next_deliver_);
+}
+
+void VerifyPool::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_) return;
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    Result r;
+    r.from = job.from;
+    r.key = smr::DecodeCache::key_of(job.payload);
+    r.msg = smr::decode_message(job.payload);
+    r.sig_ok = r.msg && smr::verify_message_signature(*crypto_, job.from, *r.msg);
+    r.payload = std::move(job.payload);
+    bool head = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      head = job.seq == next_deliver_;
+      done_.emplace(job.seq, std::move(r));
+    }
+    // Only the head-of-line completion needs to wake the node thread; the
+    // rest become drainable when the head does.
+    if (head && wake_) wake_();
+  }
+}
 
 // ---- SendQueue --------------------------------------------------------------
 
@@ -386,7 +468,29 @@ void TcpNode::sweep_half_open() {
 }
 
 void TcpNode::on_frame(ReplicaId from, Bytes payload) {
+  if (verify_pool_) {
+    // Off-thread decode + envelope verification; delivery happens in
+    // submission order from drain_verified().
+    verify_pool_->submit(from, std::move(payload));
+    return;
+  }
   if (replica_) replica_->on_message(from, payload);
+}
+
+void TcpNode::drain_verified() {
+  if (!verify_pool_) return;
+  for (auto& r : verify_pool_->drain_ready()) {
+    if (r.msg && r.sig_ok) {
+      // Seed the shared decode cache (marking the sender verified), so the
+      // replica's on_message below is a pure cache hit: no parse, no
+      // signature check on the protocol thread.
+      decode_cache_->insert(r.key, std::move(*r.msg), r.from);
+    }
+    // Deliver unconditionally — the replica re-derives (and logs) decode
+    // or signature failures itself, keeping semantics identical to the
+    // inline path.
+    if (replica_) replica_->on_message(r.from, r.payload);
+  }
 }
 
 void TcpNode::handle_readable(int fd) {
@@ -444,6 +548,13 @@ void TcpNode::handle_readable(int fd) {
 
 void TcpNode::run_loop() {
   network_ = std::make_unique<TcpNetwork>(*this);
+  decode_cache_ = std::make_shared<smr::DecodeCache>(cfg_.pcfg.decode_cache_capacity);
+  if (cfg_.verify_threads > 0) {
+    verify_pool_ = std::make_unique<VerifyPool>(cfg_.crypto, cfg_.verify_threads, [this] {
+      const char byte = 1;
+      [[maybe_unused]] ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+    });
+  }
 
   core::ReplicaContext ctx;
   ctx.sim = &executor_;
@@ -453,6 +564,7 @@ void TcpNode::run_loop() {
   ctx.config = cfg_.pcfg;
   ctx.seed = cfg_.seed;
   ctx.wal = cfg_.wal;
+  ctx.decode_cache = decode_cache_;
   replica_ = factory_(ctx);
   replica_->ledger().set_commit_callback(
       [this](const smr::Block&, SimTime) { committed_.fetch_add(1); });
@@ -462,70 +574,87 @@ void TcpNode::run_loop() {
   replica_->start();
 
   std::vector<pollfd> pfds;
-  while (!stop_flag_.load(std::memory_order_relaxed)) {
-    pfds.clear();
-    pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
-    pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
-    for (const auto& [fd, conn] : conns_) {
-      // A backlogged outbox registers for writability so a draining peer
-      // wakes the loop (the flush itself happens once per iteration).
-      const short events = conn.outbox.empty() ? POLLIN : (POLLIN | POLLOUT);
-      pfds.push_back(pollfd{fd, events, 0});
-    }
-
-    int timeout_ms = 100;
-    const SimTime deadline = executor_.next_deadline();
-    if (deadline != kSimTimeNever) {
-      const SimTime now = executor_.now();
-      timeout_ms = deadline <= now
-                       ? 0
-                       : static_cast<int>(std::min<SimTime>((deadline - now) / 1000 + 1, 100));
-    }
-    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
-    if (ready < 0 && errno != EINTR) break;
-
-    if (pfds[0].revents & POLLIN) {
-      char drain[16];
-      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+  bool fatal = false;
+  while (!stop_flag_.load(std::memory_order_relaxed) && !fatal) {
+    // Read sweeps: the first poll blocks until the next timer deadline (or
+    // input); follow-up passes poll with a zero timeout and only continue
+    // while input is still pending. Draining a whole burst before the
+    // iteration's single flush is what lets the per-peer send queues
+    // coalesce the burst's responses into one writev per peer.
+    for (int sweep = 0; sweep < kMaxReadSweeps; ++sweep) {
+      pfds.clear();
+      pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+      pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
+      for (const auto& [fd, conn] : conns_) {
+        // A backlogged outbox registers for writability so a draining peer
+        // wakes the loop (the flush itself happens once per iteration).
+        const short events = conn.outbox.empty() ? POLLIN : (POLLIN | POLLOUT);
+        pfds.push_back(pollfd{fd, events, 0});
       }
-    }
-    if (pfds[1].revents & POLLIN) {
-      for (;;) {
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0) break;
-        std::size_t pending = 0;
-        for (const auto& [cfd, conn] : conns_) {
-          if (conn.peer == kUnknownPeer) ++pending;
-        }
-        if (pending >= kMaxPendingHellos) {
-          // Accept flood: refuse rather than pin more fds. A legitimate
-          // peer re-dials via its reconnect timer.
-          ::close(fd);
-          continue;
-        }
-        const int one = 1;
-        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-        set_nonblocking(fd);
-        Conn conn;
-        conn.accepted_at = executor_.now();
-        conn.outbox = SendQueue(cfg_.send_queue_max_bytes);
-        conns_.emplace(fd, std::move(conn));
+
+      int timeout_ms = 100;
+      const SimTime deadline = executor_.next_deadline();
+      if (deadline != kSimTimeNever) {
+        const SimTime now = executor_.now();
+        timeout_ms = deadline <= now
+                         ? 0
+                         : static_cast<int>(std::min<SimTime>((deadline - now) / 1000 + 1, 100));
       }
+      const int ready = ::poll(pfds.data(), pfds.size(), sweep == 0 ? timeout_ms : 0);
+      if (ready < 0) {
+        if (errno != EINTR) fatal = true;
+        break;
+      }
+      if (ready == 0) break;  // timer deadline (sweep 0) or burst drained
+
+      if (pfds[0].revents & POLLIN) {
+        char drain[16];
+        while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+        }
+      }
+      if (pfds[1].revents & POLLIN) {
+        for (;;) {
+          const int fd = ::accept(listen_fd_, nullptr, nullptr);
+          if (fd < 0) break;
+          std::size_t pending = 0;
+          for (const auto& [cfd, conn] : conns_) {
+            if (conn.peer == kUnknownPeer) ++pending;
+          }
+          if (pending >= kMaxPendingHellos) {
+            // Accept flood: refuse rather than pin more fds. A legitimate
+            // peer re-dials via its reconnect timer.
+            ::close(fd);
+            continue;
+          }
+          const int one = 1;
+          setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          set_nonblocking(fd);
+          Conn conn;
+          conn.accepted_at = executor_.now();
+          conn.outbox = SendQueue(cfg_.send_queue_max_bytes);
+          conns_.emplace(fd, std::move(conn));
+        }
+      }
+      // Collect ready fds first: handle_readable can mutate conns_.
+      std::vector<int> readable;
+      for (std::size_t i = 2; i < pfds.size(); ++i) {
+        if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) readable.push_back(pfds[i].fd);
+      }
+      for (int fd : readable) handle_readable(fd);
     }
-    // Collect ready fds first: handle_readable can mutate conns_.
-    std::vector<int> readable;
-    for (std::size_t i = 2; i < pfds.size(); ++i) {
-      if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) readable.push_back(pfds[i].fd);
-    }
-    for (int fd : readable) handle_readable(fd);
     sweep_half_open();
+
+    // Hand back frames the verification workers finished, in order.
+    drain_verified();
 
     executor_.run_due();
 
-    // Everything produced this iteration (frame handlers + due timers) is
-    // queued by now; one vectored write per peer flushes it.
+    // Everything produced this iteration (frame handlers, verified
+    // deliveries, due timers) is queued by now; one vectored write per
+    // peer flushes it.
     flush_writes();
   }
+  verify_pool_.reset();  // joins workers; frames still in flight are dropped
 }
 
 void TcpNode::flush_writes() {

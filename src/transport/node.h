@@ -29,12 +29,15 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <chrono>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <queue>
 #include <string>
 #include <thread>
@@ -43,6 +46,7 @@
 
 #include "core/replica.h"
 #include "sim/executor.h"
+#include "smr/messages.h"
 
 namespace repro::transport {
 
@@ -138,6 +142,67 @@ class SendQueue {
   std::size_t queued_bytes_ = 0;
 };
 
+/// Off-thread frame verification for the TCP data path. Workers decode
+/// each inbound frame and check its envelope signature; the node thread
+/// collects results strictly in submission order and seeds the replica's
+/// decode cache before delivering, so the single protocol thread pays
+/// neither the parse nor the signature check for verified frames. Purely
+/// an optimization: frames are delivered in the exact order received
+/// (whether or not they verified — the replica re-derives and logs
+/// failures itself), so protocol behaviour is byte-for-byte unchanged.
+/// The simulator never uses this; it stays single-threaded/deterministic.
+class VerifyPool {
+ public:
+  struct Result {
+    ReplicaId from = 0;
+    Bytes payload;
+    crypto::Digest key{};  ///< decode-cache content key of `payload`
+    std::optional<smr::Message> msg;
+    bool sig_ok = false;
+  };
+
+  /// `wake` is invoked from worker threads whenever the next in-order
+  /// result becomes ready (it must be async-signal-ish safe: the node
+  /// writes a byte to its wake pipe).
+  VerifyPool(std::shared_ptr<const crypto::CryptoSystem> crypto, std::size_t threads,
+             std::function<void()> wake);
+  ~VerifyPool();
+
+  VerifyPool(const VerifyPool&) = delete;
+  VerifyPool& operator=(const VerifyPool&) = delete;
+
+  /// Enqueue one frame for verification (node thread only).
+  void submit(ReplicaId from, Bytes payload);
+
+  /// All results whose predecessors have also completed, in submission
+  /// order (node thread only). Results still in flight stay queued.
+  std::vector<Result> drain_ready();
+
+  /// Frames submitted but not yet drained.
+  std::size_t in_flight() const;
+
+ private:
+  struct Job {
+    std::uint64_t seq = 0;
+    ReplicaId from = 0;
+    Bytes payload;
+  };
+
+  void worker_loop();
+
+  std::shared_ptr<const crypto::CryptoSystem> crypto_;
+  std::function<void()> wake_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> jobs_;
+  std::map<std::uint64_t, Result> done_;  // completed, awaiting in-order drain
+  std::uint64_t next_seq_ = 0;            // next submission sequence
+  std::uint64_t next_deliver_ = 0;        // next sequence to hand back
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
 struct NodeConfig {
   ReplicaId id = 0;
   /// Address of every replica in the cluster, indexed by replica id.
@@ -161,6 +226,10 @@ struct NodeConfig {
   /// budget (microseconds) or they are closed; otherwise half-open
   /// connections would hold conns_ slots (and fds) forever.
   SimTime hello_timeout = 2'000'000;
+  /// Verification worker threads for inbound frames (decode + envelope
+  /// signature off the poll thread, ordered handoff back — see
+  /// VerifyPool). 0 = verify inline on the node thread.
+  std::size_t verify_threads = 0;
 };
 
 /// Builds the protocol instance for a node. Lets the transport host any
@@ -213,11 +282,17 @@ class TcpNode {
   /// Max no-progress stall before teardown, microseconds (see NodeConfig).
   SimTime write_budget_us() const;
 
+  /// Deliver in-order verified frames from the pool: seed the decode
+  /// cache for frames that passed, then hand every frame to the replica.
+  void drain_verified();
+
   NodeConfig cfg_;
   ReplicaFactory factory_;
   RealtimeExecutor executor_;
   std::unique_ptr<TcpNetwork> network_;
   std::unique_ptr<core::IReplica> replica_;
+  std::shared_ptr<smr::DecodeCache> decode_cache_;
+  std::unique_ptr<VerifyPool> verify_pool_;
 
   std::thread thread_;
   std::atomic<bool> stop_flag_{false};

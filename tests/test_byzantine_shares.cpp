@@ -1,0 +1,164 @@
+// Byzantine bad-share flood + differential determinism for the optimistic
+// (combine-then-verify) share accumulators.
+//
+// The determinism claim under test: with lazy verification, a certificate
+// forms on the add that supplies the t-th VALID distinct-signer share —
+// exactly when eager mode forms it — because any t valid shares
+// interpolate to the same signature and invalid shares are evicted (and
+// their signers banned) by the per-share fallback pass, just as eager mode
+// rejects-and-bans them at admission. Hence lazy and eager runs are
+// byte-identical: same commit sequence, same commit timestamps, even with
+// Byzantine replicas flooding invalid shares into every pool.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/invariants.h"
+
+namespace repro::harness {
+namespace {
+
+/// Full commit history of one replica, flattened for exact comparison
+/// (ids + rounds + views + heights + commit times).
+std::vector<std::uint64_t> ledger_trace(const Experiment& exp, ReplicaId id) {
+  std::vector<std::uint64_t> trace;
+  for (const auto& rec : exp.replica(id).ledger().records()) {
+    for (const auto byte : rec.id) trace.push_back(byte);
+    trace.push_back(rec.round);
+    trace.push_back(rec.view);
+    trace.push_back(rec.height);
+    trace.push_back(rec.commit_time);
+  }
+  return trace;
+}
+
+struct FloodRun {
+  std::vector<std::vector<std::uint64_t>> traces;  ///< per honest replica
+  std::uint64_t combine_fallbacks = 0;
+  std::uint64_t bad_shares_rejected = 0;
+  std::uint64_t shares_verified = 0;
+  bool reached = false;
+  bool safe = false;
+};
+
+FloodRun run_flood(Protocol p, std::uint32_t n, std::uint32_t bad, bool lazy,
+                   std::size_t commits) {
+  ExperimentConfig cfg;
+  cfg.n = n;
+  cfg.protocol = p;
+  cfg.scenario = NetScenario::kAsynchronous;
+  cfg.seed = 4242;
+  cfg.pcfg.lazy_share_verify = lazy;
+  for (std::uint32_t b = 0; b < bad; ++b) {
+    cfg.faults[n - 1 - b] = core::FaultKind::kBadShares;
+  }
+  Experiment exp(cfg);
+  exp.start();
+  FloodRun r;
+  r.reached = exp.run_until_commits(commits, 120'000'000'000ull);
+  r.safe = exp.check_safety().ok;
+  for (ReplicaId id = 0; id < n; ++id) {
+    if (!exp.is_honest(id)) continue;
+    r.traces.push_back(ledger_trace(exp, id));
+    r.combine_fallbacks += exp.replica(id).stats().combine_fallbacks;
+    r.bad_shares_rejected += exp.replica(id).stats().bad_shares_rejected;
+    r.shares_verified += exp.replica(id).stats().shares_verified;
+  }
+  return r;
+}
+
+/// f replicas flood invalid threshold shares into every quorum pool the
+/// protocol runs (votes, view-timeouts, f-votes, coin shares). Liveness
+/// must hold through the per-share fallback path, and the lazy run must
+/// remain byte-identical to the eager run.
+TEST(BadShareFlood, FallbackProtocolStaysLiveViaPerShareFallback) {
+  const FloodRun lazy = run_flood(Protocol::kFallback3, 7, 2, /*lazy=*/true, 15);
+  EXPECT_TRUE(lazy.reached);
+  EXPECT_TRUE(lazy.safe);
+  // Poisoned quorums forced optimistic combines to fail over to the
+  // per-share pass, which evicted the invalid shares.
+  EXPECT_GT(lazy.combine_fallbacks, 0u);
+  EXPECT_GT(lazy.bad_shares_rejected, 0u);
+  // Only fallback passes verify shares in lazy mode.
+  EXPECT_GT(lazy.shares_verified, 0u);
+
+  const FloodRun eager = run_flood(Protocol::kFallback3, 7, 2, /*lazy=*/false, 15);
+  EXPECT_TRUE(eager.reached);
+  EXPECT_TRUE(eager.safe);
+  EXPECT_EQ(eager.combine_fallbacks, 0u);  // eager never defers
+  EXPECT_GT(eager.bad_shares_rejected, 0u);
+  ASSERT_EQ(lazy.traces.size(), eager.traces.size());
+  for (std::size_t i = 0; i < lazy.traces.size(); ++i) {
+    EXPECT_EQ(lazy.traces[i], eager.traces[i]) << "honest replica " << i;
+  }
+}
+
+TEST(BadShareFlood, AlwaysFallbackFloodedCoinAndVotePoolsStayLive) {
+  // The ACE-style baseline exercises every pool type each view; f bad
+  // replicas poison all of them, permanently.
+  const FloodRun lazy = run_flood(Protocol::kAlwaysFallback, 7, 2, /*lazy=*/true, 10);
+  EXPECT_TRUE(lazy.reached);
+  EXPECT_TRUE(lazy.safe);
+  EXPECT_GT(lazy.combine_fallbacks, 0u);
+  EXPECT_GT(lazy.bad_shares_rejected, 0u);
+
+  const FloodRun eager = run_flood(Protocol::kAlwaysFallback, 7, 2, /*lazy=*/false, 10);
+  ASSERT_EQ(lazy.traces.size(), eager.traces.size());
+  for (std::size_t i = 0; i < lazy.traces.size(); ++i) {
+    EXPECT_EQ(lazy.traces[i], eager.traces[i]) << "honest replica " << i;
+  }
+}
+
+/// Identical (config, seed) with lazy_share_verify on vs off must produce
+/// byte-identical ledgers INCLUDING commit timestamps on every replica —
+/// deferring verification may not shift a single event in the schedule.
+TEST(DifferentialDeterminism, LazyAndEagerRunsAreByteIdentical) {
+  struct Case {
+    Protocol protocol;
+    NetScenario scenario;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Protocol::kDiemBft, NetScenario::kSynchronous, "diembft-sync"},
+      {Protocol::kDiemBft, NetScenario::kPartialSynchrony, "diembft-psync"},
+      {Protocol::kAlwaysFallback, NetScenario::kAsynchronous, "always-fallback-async"},
+      {Protocol::kFallback2, NetScenario::kAsynchronous, "2chain-async"},
+      {Protocol::kFallback3, NetScenario::kLeaderAttack, "3chain-attack"},
+  };
+  for (const Case& c : cases) {
+    std::vector<std::vector<std::uint64_t>> traces[2];
+    for (const bool lazy : {true, false}) {
+      ExperimentConfig cfg;
+      cfg.n = 4;
+      cfg.protocol = c.protocol;
+      cfg.scenario = c.scenario;
+      cfg.seed = 99;
+      cfg.pcfg.lazy_share_verify = lazy;
+      Experiment exp(cfg);
+      exp.start();
+      EXPECT_TRUE(exp.run_until_commits(20, 120'000'000'000ull)) << c.name;
+      EXPECT_TRUE(exp.check_safety().ok) << c.name;
+      for (ReplicaId id = 0; id < 4; ++id) {
+        traces[lazy ? 0 : 1].push_back(ledger_trace(exp, id));
+      }
+      if (lazy) {
+        // The honest path must not pay per-share verifications.
+        std::uint64_t verified = 0, optimistic = 0;
+        for (ReplicaId id = 0; id < 4; ++id) {
+          verified += exp.replica(id).stats().shares_verified;
+          optimistic += exp.replica(id).stats().combines_optimistic;
+        }
+        EXPECT_EQ(verified, 0u) << c.name;
+        EXPECT_GT(optimistic, 0u) << c.name;
+      }
+    }
+    ASSERT_EQ(traces[0].size(), traces[1].size()) << c.name;
+    for (std::size_t i = 0; i < traces[0].size(); ++i) {
+      EXPECT_EQ(traces[0][i], traces[1][i]) << c.name << " replica " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::harness

@@ -262,6 +262,72 @@ TEST_F(ThresholdTest, VerifyRejectsWrongMessage) {
   EXPECT_FALSE(scheme_.verify(*sig, str_bytes("forged")));
 }
 
+TEST_F(ThresholdTest, CombineRejectsDuplicateSignerOutright) {
+  // Enough DISTINCT signers are present, but one duplicated signer poisons
+  // the whole call: combine refuses instead of silently deduplicating, so
+  // callers (the share accumulators) must reject duplicates at admission.
+  std::vector<PartialSig> shares;
+  for (ReplicaId i = 0; i < 5; ++i) shares.push_back(scheme_.sign_share(i, msg_));
+  shares.push_back(scheme_.sign_share(3, msg_));  // duplicate of signer 3
+  EXPECT_FALSE(scheme_.combine(shares, msg_).has_value());
+}
+
+TEST_F(ThresholdTest, CombineWithCoefficientsMatchesCombine) {
+  std::vector<PartialSig> shares;
+  std::vector<ReplicaId> ids;
+  for (ReplicaId i = 1; i < 6; ++i) {
+    shares.push_back(scheme_.sign_share(i, msg_));
+    ids.push_back(i);
+  }
+  const auto coeffs = lagrange_coefficients_at_zero(ids);
+  const ThresholdSig fast = scheme_.combine_with_coefficients(shares, coeffs);
+  const auto slow = scheme_.combine(shares, msg_);
+  ASSERT_TRUE(slow.has_value());
+  EXPECT_EQ(fast.value, slow->value);
+  EXPECT_TRUE(scheme_.verify_at(fast, scheme_.message_point(msg_)));
+}
+
+TEST_F(ThresholdTest, VerifyShareAtMatchesVerifyShare) {
+  const Fp point = scheme_.message_point(msg_);
+  for (ReplicaId i = 0; i < 7; ++i) {
+    auto share = scheme_.sign_share(i, msg_);
+    EXPECT_TRUE(scheme_.verify_share_at(share, point));
+    EXPECT_EQ(scheme_.verify_share(share, msg_), scheme_.verify_share_at(share, point));
+    share.value ^= 1;
+    EXPECT_FALSE(scheme_.verify_share_at(share, point));
+  }
+}
+
+TEST(Shamir, BatchLagrangeMatchesPerIndex) {
+  for (const std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{5}, std::size_t{21}}) {
+    std::vector<ReplicaId> ids;
+    for (ReplicaId i = 0; i < t; ++i) ids.push_back(i * 7 + 2);  // arbitrary distinct ids
+    const auto batch = lagrange_coefficients_at_zero(ids);
+    ASSERT_EQ(batch.size(), t);
+    for (std::size_t i = 0; i < t; ++i) {
+      EXPECT_EQ(batch[i].value(), lagrange_coefficient_at_zero(ids, i).value())
+          << "t=" << t << " i=" << i;
+    }
+  }
+}
+
+TEST(Shamir, LagrangeCacheHitsAndEvicts) {
+  LagrangeCache cache(2);
+  const std::vector<ReplicaId> a{0, 1, 2}, b{1, 2, 3}, c{2, 3, 4};
+  const auto a_coeffs = cache.coefficients(a);  // miss
+  EXPECT_EQ(a_coeffs.size(), 3u);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.coefficients(a);  // hit
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.coefficients(b);  // miss, cache full
+  cache.coefficients(c);  // miss, evicts a (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  cache.coefficients(a);  // miss again: was evicted
+  EXPECT_EQ(cache.misses(), 4u);
+  // Values are correct regardless of hit/miss path.
+  EXPECT_EQ(cache.coefficients(b)[1].value(), lagrange_coefficient_at_zero(b, 1).value());
+}
+
 // ---- Common coin -------------------------------------------------------------
 
 TEST(CommonCoin, ElectsSameLeaderForAnyShareSubset) {

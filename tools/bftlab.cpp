@@ -35,7 +35,9 @@ void usage() {
       "  --batch B      txn batch bytes per block         (default 0)\n"
       "  --timeout MS   round timer, milliseconds         (default 400)\n"
       "  --faults LIST  comma-separated, applied to the last replicas:\n"
-      "                 crash | mute | equiv | withhold | spam\n"
+      "                 crash | mute | equiv | withhold | spam | badshare\n"
+      "  --eager        verify every threshold share on arrival (default is\n"
+      "                 optimistic combine-then-verify accumulation)\n"
       "  --wal          enable write-ahead logs\n"
       "  --quiet        metrics only, no banner\n");
 }
@@ -65,6 +67,7 @@ bool parse_fault(const std::string& s, core::FaultKind* out) {
   else if (s == "equiv") *out = core::FaultKind::kEquivocate;
   else if (s == "withhold") *out = core::FaultKind::kWithholdVotes;
   else if (s == "spam") *out = core::FaultKind::kTimeoutSpam;
+  else if (s == "badshare") *out = core::FaultKind::kBadShares;
   else return false;
   return true;
 }
@@ -103,6 +106,8 @@ int main(int argc, char** argv) {
       cfg.pcfg.batch_bytes = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--timeout") {
       cfg.pcfg.base_timeout_us = static_cast<SimTime>(std::atoll(next())) * 1'000;
+    } else if (arg == "--eager") {
+      cfg.pcfg.lazy_share_verify = false;
     } else if (arg == "--wal") {
       cfg.enable_wal = true;
     } else if (arg == "--quiet") {
@@ -152,6 +157,7 @@ int main(int argc, char** argv) {
   std::uint64_t fallbacks = 0, fb_time = 0, fb_exits = 0;
   std::uint64_t vhits = 0, vmiss = 0;
   std::uint64_t dhits = 0, dmiss = 0;
+  std::uint64_t sh_verified = 0, sh_deferred = 0, sh_opt = 0, sh_fb = 0, sh_bad = 0;
   for (ReplicaId id = 0; id < cfg.n; ++id) {
     if (!exp.is_honest(id)) continue;
     fallbacks += exp.replica(id).stats().fallbacks_entered;
@@ -161,6 +167,11 @@ int main(int argc, char** argv) {
     vmiss += exp.replica(id).stats().cert_verify_misses;
     dhits += exp.replica(id).stats().decode_hits;
     dmiss += exp.replica(id).stats().decode_misses;
+    sh_verified += exp.replica(id).stats().shares_verified;
+    sh_deferred += exp.replica(id).stats().shares_deferred;
+    sh_opt += exp.replica(id).stats().combines_optimistic;
+    sh_fb += exp.replica(id).stats().combine_fallbacks;
+    sh_bad += exp.replica(id).stats().bad_shares_rejected;
   }
 
   std::printf("reached target     : %s\n", reached ? "yes" : "NO");
@@ -186,6 +197,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(dmiss),
               static_cast<unsigned long long>(dhits));
   if (dmiss > 0) std::printf(" (%.1fx fewer parses)", double(dhits + dmiss) / dmiss);
+  std::printf("\n");
+  std::printf("share assembly     : %llu verified per-share, %llu deferred, "
+              "%llu optimistic combines, %llu fallbacks",
+              static_cast<unsigned long long>(sh_verified),
+              static_cast<unsigned long long>(sh_deferred),
+              static_cast<unsigned long long>(sh_opt),
+              static_cast<unsigned long long>(sh_fb));
+  if (sh_bad > 0) std::printf(", %llu bad shares rejected",
+                              static_cast<unsigned long long>(sh_bad));
   std::printf("\n");
   std::printf("zero-copy multicast: %llu multicasts, %llu payload copies avoided\n",
               static_cast<unsigned long long>(st.multicasts),
