@@ -20,6 +20,9 @@ const char* fault_name(core::FaultKind k) {
     case core::FaultKind::kEquivocate: return "equivocating proposer";
     case core::FaultKind::kWithholdVotes: return "vote withholder";
     case core::FaultKind::kTimeoutSpam: return "timeout spammer";
+    case core::FaultKind::kInvalidTxns: return "invalid-txn proposer";
+    case core::FaultKind::kBadShares: return "bad-share flooder";
+    case core::FaultKind::kImpersonateShares: return "share impersonator";
   }
   return "?";
 }

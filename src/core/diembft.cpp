@@ -169,10 +169,9 @@ void DiemBftReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
 }
 
 void DiemBftReplica::handle_vote(ReplicaId from, const smr::VoteMsg& msg) {
-  (void)from;  // the share authenticates its signer
   if (msg.view != 0) return;
   const auto key = std::make_tuple(msg.block_id, msg.round);
-  auto sig = add_share(votes_, key, msg.share, crypto_sys().quorum_sigs, [&] {
+  auto sig = add_share(votes_, key, from, msg.share, crypto_sys().quorum_sigs, [&] {
     return smr::cert_signing_message(smr::CertKind::kQuorum, msg.block_id, msg.round, 0, 0, 0);
   });
   if (!sig) return;
@@ -183,7 +182,7 @@ void DiemBftReplica::handle_vote(ReplicaId from, const smr::VoteMsg& msg) {
   qc.round = msg.round;
   qc.sig = *sig;
   note_verified(qc);  // the accumulator verified the combined signature
-  lock_step(qc, msg.share.signer);
+  lock_step(qc, from);
 }
 
 void DiemBftReplica::handle_timeout(ReplicaId from, const smr::DiemTimeoutMsg& msg) {
@@ -195,7 +194,8 @@ void DiemBftReplica::handle_timeout(ReplicaId from, const smr::DiemTimeoutMsg& m
   }
 
   if (msg.round <= highest_tc_formed_) return;
-  auto sig = add_share(timeout_shares_, msg.round, msg.round_share, crypto_sys().quorum_sigs,
+  auto sig = add_share(timeout_shares_, msg.round, from, msg.round_share,
+                       crypto_sys().quorum_sigs,
                        [&] { return smr::tc_signing_message(msg.round); });
   if (!sig) return;
   const smr::TimeoutCert tc{msg.round, *sig};

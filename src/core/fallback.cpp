@@ -74,17 +74,17 @@ void FallbackReplica::handle_message(ReplicaId from, smr::Message&& msg) {
   if (auto* p = std::get_if<smr::ProposalMsg>(&msg)) {
     if (!fb_.always_fallback) handle_proposal(from, std::move(*p));
   } else if (auto* v = std::get_if<smr::VoteMsg>(&msg)) {
-    if (!fb_.always_fallback) handle_vote(*v);
+    if (!fb_.always_fallback) handle_vote(from, *v);
   } else if (auto* t = std::get_if<smr::FbTimeoutMsg>(&msg)) {
     if (!fb_.always_fallback) handle_fb_timeout(from, *t);
   } else if (auto* fp = std::get_if<smr::FbProposalMsg>(&msg)) {
     handle_fb_proposal(from, std::move(*fp));
   } else if (auto* fv = std::get_if<smr::FbVoteMsg>(&msg)) {
-    handle_fb_vote(*fv);
+    handle_fb_vote(from, *fv);
   } else if (auto* fq = std::get_if<smr::FbQcMsg>(&msg)) {
     handle_fb_qc(from, *fq);
   } else if (auto* cs = std::get_if<smr::CoinShareMsg>(&msg)) {
-    handle_coin_share(*cs);
+    handle_coin_share(from, *cs);
   } else if (auto* cq = std::get_if<smr::CoinQcMsg>(&msg)) {
     if (cached_verify(cq->qc)) process_coin(cq->qc);
   }
@@ -229,9 +229,9 @@ void FallbackReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
   send(leader_of(r + 1), std::move(vote));
 }
 
-void FallbackReplica::handle_vote(const smr::VoteMsg& msg) {
+void FallbackReplica::handle_vote(ReplicaId from, const smr::VoteMsg& msg) {
   const auto key = std::make_tuple(msg.block_id, msg.round, msg.view);
-  auto sig = add_share(votes_, key, msg.share, crypto_sys().quorum_sigs, [&] {
+  auto sig = add_share(votes_, key, from, msg.share, crypto_sys().quorum_sigs, [&] {
     return smr::cert_signing_message(smr::CertKind::kQuorum, msg.block_id, msg.round,
                                      msg.view, 0, 0);
   });
@@ -243,7 +243,7 @@ void FallbackReplica::handle_vote(const smr::VoteMsg& msg) {
   qc.view = msg.view;
   qc.sig = *sig;
   note_verified(qc);  // the accumulator verified the combined signature
-  lock_full(qc, msg.share.signer);
+  lock_full(qc, from);
 }
 
 void FallbackReplica::arm_timer() {
@@ -287,7 +287,7 @@ void FallbackReplica::handle_fb_timeout(ReplicaId from, const smr::FbTimeoutMsg&
 
   if (msg.view < v_cur_) return;  // stale view; shares cannot help anymore
   if (any_ftc_formed_ && msg.view <= highest_ftc_formed_) return;
-  auto sig = add_share(view_timeout_shares_, msg.view, msg.view_share,
+  auto sig = add_share(view_timeout_shares_, msg.view, from, msg.view_share,
                        crypto_sys().quorum_sigs,
                        [&] { return smr::ftc_signing_message(msg.view); });
   if (!sig) return;
@@ -443,7 +443,7 @@ void FallbackReplica::handle_fb_proposal(ReplicaId from, smr::FbProposalMsg&& ms
   send(j, std::move(vote));
 }
 
-void FallbackReplica::handle_fb_vote(const smr::FbVoteMsg& msg) {
+void FallbackReplica::handle_fb_vote(ReplicaId from, const smr::FbVoteMsg& msg) {
   if (msg.chain_owner != id() || msg.view != v_cur_) return;
   auto it = own_fblock_.find(msg.height);
   if (it == own_fblock_.end() || it->second != msg.block_id) return;
@@ -458,7 +458,7 @@ void FallbackReplica::handle_fb_vote(const smr::FbVoteMsg& msg) {
   }
 
   const auto key = std::make_tuple(msg.block_id, msg.height);
-  auto sig = add_share(fb_votes_, key, msg.share, crypto_sys().quorum_sigs, [&] {
+  auto sig = add_share(fb_votes_, key, from, msg.share, crypto_sys().quorum_sigs, [&] {
     return smr::cert_signing_message(smr::CertKind::kFallback, msg.block_id, msg.round,
                                      msg.view, msg.height, id());
   });
@@ -543,13 +543,13 @@ void FallbackReplica::maybe_trigger_election() {
   multicast(std::move(msg));
 }
 
-void FallbackReplica::handle_coin_share(const smr::CoinShareMsg& msg) {
+void FallbackReplica::handle_coin_share(ReplicaId from, const smr::CoinShareMsg& msg) {
   if (msg.view < v_cur_) return;
   // Honest replicas only share the coin of a view whose fallback they are
   // in, so anything far ahead of us is Byzantine pool-stuffing: without a
   // horizon the coin_shares_ pool grows without bound between prunes.
   if (msg.view > v_cur_ + kCoinViewHorizon) return;
-  auto sig = add_share(coin_shares_, msg.view, msg.share, crypto_sys().coin.scheme(),
+  auto sig = add_share(coin_shares_, msg.view, from, msg.share, crypto_sys().coin.scheme(),
                        [&] { return crypto::CommonCoin::coin_message(msg.view); });
   if (!sig) return;
   const smr::CoinQC coin{msg.view, *sig};

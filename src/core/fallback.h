@@ -63,7 +63,7 @@ class FallbackReplica final : public ReplicaBase {
   // ---- steady state ----------------------------------------------------
   void maybe_propose_steady();
   void handle_proposal(ReplicaId from, smr::ProposalMsg&& msg);
-  void handle_vote(const smr::VoteMsg& msg);
+  void handle_vote(ReplicaId from, const smr::VoteMsg& msg);
 
   /// Full Lock step (Fig 1 Lock with Fig 2's Advance Round): applies only
   /// to certificates that "count" (regular QCs / endorsed f-QCs).
@@ -82,9 +82,9 @@ class FallbackReplica final : public ReplicaBase {
   void handle_ftc(const smr::FallbackTC& ftc);
   void enter_fallback(View view, const std::optional<smr::FallbackTC>& ftc);
   void handle_fb_proposal(ReplicaId from, smr::FbProposalMsg&& msg);
-  void handle_fb_vote(const smr::FbVoteMsg& msg);
+  void handle_fb_vote(ReplicaId from, const smr::FbVoteMsg& msg);
   void handle_fb_qc(ReplicaId from, const smr::FbQcMsg& msg);
-  void handle_coin_share(const smr::CoinShareMsg& msg);
+  void handle_coin_share(ReplicaId from, const smr::CoinShareMsg& msg);
 
   /// Install + (if view >= v_cur) run Exit Fallback; multicasts the
   /// coin-QC on first sight. All coin-QC paths funnel here.

@@ -34,6 +34,12 @@ enum class FaultKind : std::uint8_t {
   /// the bad shares via the failed combined check, evict them, and still
   /// assemble certificates from the honest 2f+1.
   kBadShares,
+  /// Participates normally but every threshold share it sends claims
+  /// another replica's signer id (with a garbage value). Stresses the
+  /// signer/sender binding at share admission: without it the forged
+  /// shares would occupy honest signers' accumulator slots and get the
+  /// honest ids banned, wedging quorums forever.
+  kImpersonateShares,
 };
 
 struct FaultSpec {
@@ -46,6 +52,7 @@ struct FaultSpec {
   bool spams_timeouts() const { return kind == FaultKind::kTimeoutSpam; }
   bool proposes_invalid_txns() const { return kind == FaultKind::kInvalidTxns; }
   bool sends_bad_shares() const { return kind == FaultKind::kBadShares; }
+  bool impersonates_shares() const { return kind == FaultKind::kImpersonateShares; }
 };
 
 }  // namespace repro::core

@@ -136,13 +136,30 @@ class ReplicaBase : public IReplica {
   // environment (scheme, Lagrange-coefficient memo, counters, lazy/eager
   // mode) and sync the counters into stats(). Returns the combined
   // signature exactly once, on the add that completes the quorum.
+  //
+  // `from` is the envelope-authenticated sender of the message carrying
+  // the share. Shares are first-person (every protocol sends only shares
+  // it signed itself; certificates, not shares, are what gets relayed),
+  // so a share claiming a different signer is a forgery attempt and is
+  // dropped before it reaches the pool: admitting it would let a
+  // Byzantine sender occupy honest signers' slots — their genuine shares
+  // would then bounce as duplicates, and the accumulator's ban-on-invalid
+  // eviction would ban the *honest* ids per target, wedging the quorum
+  // forever (a liveness break). With the binding enforced, bans are
+  // always attributable to the authenticated misbehaving replica.
   template <typename Key, typename MakeMsg>
   std::optional<crypto::ThresholdSig> add_share(smr::SharePool<Key>& pool, const Key& key,
-                                                const crypto::PartialSig& share,
+                                                ReplicaId from, const crypto::PartialSig& share,
                                                 const crypto::ThresholdScheme& scheme,
                                                 MakeMsg&& make_msg) {
-    const smr::ShareEnv env{&scheme, &lagrange_, &share_stats_, cfg_.lazy_share_verify};
-    auto sig = pool.add(env, key, share, std::forward<MakeMsg>(make_msg));
+    std::optional<crypto::ThresholdSig> sig;
+    if (share.signer == from) {
+      const smr::ShareEnv env{&scheme, &lagrange_, &share_stats_, cfg_.lazy_share_verify};
+      sig = pool.add(env, key, share, std::forward<MakeMsg>(make_msg));
+    } else {
+      ++share_stats_.bad_shares_rejected;
+      share_stats_.blame_signer(from);
+    }
     stats_.shares_verified = share_stats_.shares_verified;
     stats_.shares_deferred = share_stats_.shares_deferred;
     stats_.combines_optimistic = share_stats_.combines_optimistic;
@@ -156,9 +173,15 @@ class ReplicaBase : public IReplica {
 
   /// Fault injection for kBadShares: corrupt every share this replica
   /// emits (flip the low bit of the field value — always invalid, since
-  /// the correct value is unique).
+  /// the correct value is unique). kImpersonateShares additionally claims
+  /// the next replica's signer id on the garbage share, attacking the
+  /// signer/sender binding that add_share enforces.
   crypto::PartialSig maybe_corrupt(crypto::PartialSig share) const {
     if (cfg_.fault.sends_bad_shares()) share.value ^= 1;
+    if (cfg_.fault.impersonates_shares()) {
+      share.signer = (share.signer + 1) % params_.n;
+      share.value ^= 1;
+    }
     return share;
   }
 

@@ -26,6 +26,14 @@
 // evicted and their signers banned per-target, so the t-th valid share to
 // arrive always completes the certificate, exactly as in eager mode.
 // Honest-path cost per certificate: O(1) verifications instead of O(n).
+//
+// ADMISSION PRECONDITION: callers must only feed shares whose claimed
+// signer equals the envelope-authenticated sender of the carrying message
+// (ReplicaBase::add_share enforces this at the single choke point). The
+// duplicate-signer and ban-on-invalid rules key on share.signer; without
+// the binding, a Byzantine sender could stuff garbage shares under honest
+// ids, bouncing the genuine shares as duplicates and getting the honest
+// signers banned — the quorum would then never form.
 #pragma once
 
 #include <cstdint>

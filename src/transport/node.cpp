@@ -582,13 +582,23 @@ void TcpNode::run_loop() {
     // iteration's single flush is what lets the per-peer send queues
     // coalesce the burst's responses into one writev per peer.
     for (int sweep = 0; sweep < kMaxReadSweeps; ++sweep) {
+      // Backpressure: past the verification backlog cap, peer sockets are
+      // not registered for reads (errors/hangups still surface — poll
+      // reports POLLERR/POLLHUP regardless of events). Inbound bytes pile
+      // up in kernel socket buffers and TCP pushes back on the senders;
+      // the pool's head-of-line wake reopens reading once drain_verified()
+      // catches up. Re-checked every sweep, since the sweeps themselves
+      // are what amplify a read burst into the pool.
+      const bool rx_paused = verify_pool_ && cfg_.verify_backlog_max > 0 &&
+                             verify_pool_->in_flight() >= cfg_.verify_backlog_max;
       pfds.clear();
       pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
       pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
       for (const auto& [fd, conn] : conns_) {
         // A backlogged outbox registers for writability so a draining peer
         // wakes the loop (the flush itself happens once per iteration).
-        const short events = conn.outbox.empty() ? POLLIN : (POLLIN | POLLOUT);
+        short events = conn.outbox.empty() ? 0 : POLLOUT;
+        if (!rx_paused) events |= POLLIN;
         pfds.push_back(pollfd{fd, events, 0});
       }
 

@@ -151,6 +151,9 @@ class SendQueue {
 /// (whether or not they verified — the replica re-derives and logs
 /// failures itself), so protocol behaviour is byte-for-byte unchanged.
 /// The simulator never uses this; it stays single-threaded/deterministic.
+/// The pool itself does not bound its queues: the node's poll loop stops
+/// reading peer sockets once in_flight() reaches
+/// NodeConfig::verify_backlog_max, so TCP backpressure caps the backlog.
 class VerifyPool {
  public:
   struct Result {
@@ -230,6 +233,13 @@ struct NodeConfig {
   /// signature off the poll thread, ordered handoff back — see
   /// VerifyPool). 0 = verify inline on the node thread.
   std::size_t verify_threads = 0;
+  /// Backpressure bound on the verification pool: once this many frames
+  /// are submitted but not yet delivered, the poll loop stops registering
+  /// peer sockets for reads until the backlog drains — kernel socket
+  /// buffers absorb the flow and TCP pushes back on senders, so peers
+  /// producing frames faster than the workers verify them cannot grow
+  /// jobs_/done_ without bound. 0 = unbounded (not recommended).
+  std::size_t verify_backlog_max = 256;
 };
 
 /// Builds the protocol instance for a node. Lets the transport host any

@@ -43,7 +43,8 @@ struct FloodRun {
 };
 
 FloodRun run_flood(Protocol p, std::uint32_t n, std::uint32_t bad, bool lazy,
-                   std::size_t commits) {
+                   std::size_t commits,
+                   core::FaultKind fault = core::FaultKind::kBadShares) {
   ExperimentConfig cfg;
   cfg.n = n;
   cfg.protocol = p;
@@ -51,7 +52,7 @@ FloodRun run_flood(Protocol p, std::uint32_t n, std::uint32_t bad, bool lazy,
   cfg.seed = 4242;
   cfg.pcfg.lazy_share_verify = lazy;
   for (std::uint32_t b = 0; b < bad; ++b) {
-    cfg.faults[n - 1 - b] = core::FaultKind::kBadShares;
+    cfg.faults[n - 1 - b] = fault;
   }
   Experiment exp(cfg);
   exp.start();
@@ -107,6 +108,40 @@ TEST(BadShareFlood, AlwaysFallbackFloodedCoinAndVotePoolsStayLive) {
   ASSERT_EQ(lazy.traces.size(), eager.traces.size());
   for (std::size_t i = 0; i < lazy.traces.size(); ++i) {
     EXPECT_EQ(lazy.traces[i], eager.traces[i]) << "honest replica " << i;
+  }
+}
+
+/// f replicas flood garbage shares that CLAIM HONEST SIGNER IDS (each
+/// stamps its neighbour's id on every vote/timeout/coin share it sends).
+/// Admission must bind the claimed signer to the envelope-authenticated
+/// sender and drop the forgeries; were they admitted, they would occupy
+/// the honest signers' accumulator slots — the genuine shares would then
+/// bounce as duplicates and the per-share fallback would ban the honest
+/// ids per target, so no quorum certificate (QC, f-TC, coin-QC) could
+/// ever form again: a permanent liveness break, in lazy AND eager mode.
+TEST(ImpersonatedShareFlood, ForgedSignerIdsCannotWedgeQuorums) {
+  for (const Protocol p : {Protocol::kFallback3, Protocol::kAlwaysFallback}) {
+    const FloodRun lazy =
+        run_flood(p, 7, 2, /*lazy=*/true, 10, core::FaultKind::kImpersonateShares);
+    EXPECT_TRUE(lazy.reached);
+    EXPECT_TRUE(lazy.safe);
+    // Forgeries are rejected at admission (blamed on the authenticated
+    // sender), never buffered — so no optimistic combine ever fails.
+    EXPECT_GT(lazy.bad_shares_rejected, 0u);
+    EXPECT_EQ(lazy.combine_fallbacks, 0u);
+    EXPECT_EQ(lazy.shares_verified, 0u);
+
+    const FloodRun eager =
+        run_flood(p, 7, 2, /*lazy=*/false, 10, core::FaultKind::kImpersonateShares);
+    EXPECT_TRUE(eager.reached);
+    EXPECT_TRUE(eager.safe);
+    EXPECT_GT(eager.bad_shares_rejected, 0u);
+    // The admission check fires before the lazy/eager split, so the runs
+    // stay byte-identical.
+    ASSERT_EQ(lazy.traces.size(), eager.traces.size());
+    for (std::size_t i = 0; i < lazy.traces.size(); ++i) {
+      EXPECT_EQ(lazy.traces[i], eager.traces[i]) << "honest replica " << i;
+    }
   }
 }
 

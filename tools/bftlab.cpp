@@ -35,7 +35,7 @@ void usage() {
       "  --batch B      txn batch bytes per block         (default 0)\n"
       "  --timeout MS   round timer, milliseconds         (default 400)\n"
       "  --faults LIST  comma-separated, applied to the last replicas:\n"
-      "                 crash | mute | equiv | withhold | spam | badshare\n"
+      "                 crash | mute | equiv | withhold | spam | badshare | impersonate\n"
       "  --eager        verify every threshold share on arrival (default is\n"
       "                 optimistic combine-then-verify accumulation)\n"
       "  --wal          enable write-ahead logs\n"
@@ -68,6 +68,7 @@ bool parse_fault(const std::string& s, core::FaultKind* out) {
   else if (s == "withhold") *out = core::FaultKind::kWithholdVotes;
   else if (s == "spam") *out = core::FaultKind::kTimeoutSpam;
   else if (s == "badshare") *out = core::FaultKind::kBadShares;
+  else if (s == "impersonate") *out = core::FaultKind::kImpersonateShares;
   else return false;
   return true;
 }
