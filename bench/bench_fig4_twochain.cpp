@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness/experiment.h"
+#include "obs/metrics.h"
 
 using namespace repro;
 using namespace repro::harness;
@@ -94,7 +95,7 @@ int main() {
       }
     }
     std::printf("    %-22s %16.1f %12llu\n", label,
-                exits ? double(total_us) / exits / 1000.0 : 0.0,
+                obs::ratio(total_us, exits) / 1000.0,
                 static_cast<unsigned long long>(exits));
   }
   std::printf("\n");

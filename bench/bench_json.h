@@ -10,12 +10,27 @@
 
 namespace repro::bench {
 
-/// `argv`-style lookup of `--json <path>`; nullptr when absent.
-inline const char* json_path_arg(int argc, char** argv) {
+/// `argv`-style lookup of `<flag> <value>`; nullptr when absent.
+inline const char* flag_value(int argc, char** argv, const char* flag) {
   for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--json") return argv[i + 1];
+    if (std::string(argv[i]) == flag) return argv[i + 1];
   }
   return nullptr;
+}
+
+/// `argv`-style lookup of `--json <path>`; nullptr when absent.
+inline const char* json_path_arg(int argc, char** argv) {
+  return flag_value(argc, argv, "--json");
+}
+
+/// `--trace-out <path>`: write the run's merged NDJSON event trace here.
+inline const char* trace_out_arg(int argc, char** argv) {
+  return flag_value(argc, argv, "--trace-out");
+}
+
+/// `--metrics-out <path>`: write an NDJSON registry snapshot here.
+inline const char* metrics_out_arg(int argc, char** argv) {
+  return flag_value(argc, argv, "--metrics-out");
 }
 
 class JsonLine {

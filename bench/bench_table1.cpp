@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "harness/experiment.h"
+#include "obs/metrics.h"
 
 using namespace repro;
 using namespace repro::harness;
@@ -49,8 +50,8 @@ Row run_cell(Protocol p, NetScenario s, std::uint32_t n, std::size_t target,
   // network messages), matching how the paper's Table 1 counts
   // communication; the excluded traffic is in stats().self_messages.
   const auto& st = exp.network().stats();
-  row.msgs_per_decision = decisions ? double(st.messages) / decisions : 0;
-  row.bytes_per_decision = decisions ? double(st.bytes) / decisions : 0;
+  row.msgs_per_decision = obs::ratio(st.messages, decisions);
+  row.bytes_per_decision = obs::ratio(st.bytes, decisions);
   return row;
 }
 

@@ -17,6 +17,7 @@
 
 #include "bench_json.h"
 #include "core/fallback.h"
+#include "obs/metrics.h"
 #include "transport/node.h"
 
 using namespace repro;
@@ -41,7 +42,7 @@ struct RunResult {
   double wall_seconds = 0;
 
   double frames_per_writev() const {
-    return net.writev_batches ? double(net.writev_frames) / net.writev_batches : 0.0;
+    return obs::ratio(net.writev_frames, net.writev_batches);
   }
 };
 

@@ -94,6 +94,7 @@ void DiemBftReplica::maybe_propose() {
       send(to, std::move(msg));
     }
     ++stats_.proposals_sent;
+    trace(obs::EventKind::kProposalSent, 0, r_cur_);
     return;
   }
 
@@ -105,6 +106,7 @@ void DiemBftReplica::maybe_propose() {
   msg.block = std::move(block);
   msg.tc = entry_tc_;
   ++stats_.proposals_sent;
+  trace(obs::EventKind::kProposalSent, 0, r_cur_);
   multicast(std::move(msg));
 }
 
@@ -145,6 +147,7 @@ void DiemBftReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
   const Round r = block.round;
   const smr::BlockId id_of_block = block.id;
   store_block(std::move(block), from);
+  trace(obs::EventKind::kProposalReceived, 0, r, 0, from);
 
   // "Upon receiving the first valid proposal from L_r, execute Lock."
   lock_step(parent, from);
@@ -159,6 +162,7 @@ void DiemBftReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
   r_vote_ = r;
   persist_vote_state();  // durable before the vote leaves
   ++stats_.votes_sent;
+  trace(obs::EventKind::kVoteSent, 0, r);
   smr::VoteMsg vote;
   vote.block_id = id_of_block;
   vote.round = r;
@@ -182,6 +186,7 @@ void DiemBftReplica::handle_vote(ReplicaId from, const smr::VoteMsg& msg) {
   qc.round = msg.round;
   qc.sig = *sig;
   note_verified(qc);  // the accumulator verified the combined signature
+  trace(obs::EventKind::kQcFormed, 0, msg.round);
   lock_step(qc, from);
 }
 
@@ -200,6 +205,7 @@ void DiemBftReplica::handle_timeout(ReplicaId from, const smr::DiemTimeoutMsg& m
   if (!sig) return;
   const smr::TimeoutCert tc{msg.round, *sig};
   note_verified(tc);  // the accumulator verified the combined signature
+  trace(obs::EventKind::kTcFormed, 0, msg.round);
   highest_tc_formed_ = msg.round;
   handle_tc(tc);
 }

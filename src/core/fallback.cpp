@@ -166,6 +166,7 @@ void FallbackReplica::maybe_propose_steady() {
       send(to, std::move(msg));
     }
     ++stats_.proposals_sent;
+    trace(obs::EventKind::kProposalSent, v_cur_, r_cur_);
     return;
   }
 
@@ -177,6 +178,7 @@ void FallbackReplica::maybe_propose_steady() {
   msg.block = std::move(block);
   msg.coins = evidence_for(qc_high());
   ++stats_.proposals_sent;
+  trace(obs::EventKind::kProposalSent, v_cur_, r_cur_);
   multicast(std::move(msg));
 }
 
@@ -204,6 +206,7 @@ void FallbackReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
   const View v = block.view;
   const smr::BlockId block_id = block.id;
   store_block(std::move(block), from);
+  trace(obs::EventKind::kProposalReceived, v, r, 0, from);
 
   lock_full(parent, from);
 
@@ -220,6 +223,7 @@ void FallbackReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
   r_vote_ = r;
   persist_vote_state();  // durable before the vote leaves
   ++stats_.votes_sent;
+  trace(obs::EventKind::kVoteSent, v, r);
   smr::VoteMsg vote;
   vote.block_id = block_id;
   vote.round = r;
@@ -243,6 +247,7 @@ void FallbackReplica::handle_vote(ReplicaId from, const smr::VoteMsg& msg) {
   qc.view = msg.view;
   qc.sig = *sig;
   note_verified(qc);  // the accumulator verified the combined signature
+  trace(obs::EventKind::kQcFormed, msg.view, msg.round);
   lock_full(qc, from);
 }
 
@@ -293,6 +298,7 @@ void FallbackReplica::handle_fb_timeout(ReplicaId from, const smr::FbTimeoutMsg&
   if (!sig) return;
   const smr::FallbackTC ftc{msg.view, *sig};
   note_verified(ftc);  // the accumulator verified the combined signature
+  trace(obs::EventKind::kFtcFormed, msg.view, 0);
   highest_ftc_formed_ = msg.view;
   any_ftc_formed_ = true;
   handle_ftc(ftc);
@@ -313,6 +319,9 @@ void FallbackReplica::enter_fallback(View view, const std::optional<smr::Fallbac
   entered_ftc_ = ftc;
   fallback_entered_at_ = sim().now();
   ++stats_.fallbacks_entered;
+  trace(obs::EventKind::kViewEntered, view, r_cur_);
+  trace(obs::EventKind::kFallbackEntered, view, r_cur_, 0,
+        ftc ? obs::kFallbackReasonFtc : obs::kFallbackReasonAlways);
   if (timer_ != sim::kInvalidEvent) {
     sim().cancel(timer_);
     timer_ = sim::kInvalidEvent;
@@ -359,6 +368,7 @@ void FallbackReplica::propose_fblock(FallbackHeight height, const smr::Certifica
       send(to, std::move(msg));
     }
     ++stats_.proposals_sent;
+    trace(obs::EventKind::kProposalSent, v_cur_, parent.round + 1, height);
     return;
   }
 
@@ -372,6 +382,7 @@ void FallbackReplica::propose_fblock(FallbackHeight height, const smr::Certifica
   msg.ftc = ftc;
   msg.coins = evidence_for(parent);
   ++stats_.proposals_sent;
+  trace(obs::EventKind::kProposalSent, v_cur_, parent.round + 1, height);
   multicast(std::move(msg));
 }
 
@@ -394,6 +405,7 @@ void FallbackReplica::handle_fb_proposal(ReplicaId from, smr::FbProposalMsg&& ms
   const ReplicaId j = from;
   const smr::BlockId block_id = block.id;
   store_block(std::move(block), from);
+  trace(obs::EventKind::kProposalReceived, v, r, h, from);
 
   // Regular-QC parents feed Lock; f-QC parents are recorded (and drive
   // adoption). Endorsed f-QC parents also feed Lock via lock_full.
@@ -432,6 +444,7 @@ void FallbackReplica::handle_fb_proposal(ReplicaId from, smr::FbProposalMsg&& ms
   h_vote_bar_[j] = h;
   persist_vote_state();  // durable before the fallback vote leaves
   ++stats_.votes_sent;
+  trace(obs::EventKind::kVoteSent, v, r, h);
   smr::FbVoteMsg vote;
   vote.block_id = block_id;
   vote.round = r;
@@ -472,6 +485,7 @@ void FallbackReplica::handle_fb_vote(ReplicaId from, const smr::FbVoteMsg& msg) 
   fqc.proposer = id();
   fqc.sig = *sig;
   note_verified(fqc);  // the accumulator verified the combined signature
+  trace(obs::EventKind::kFBlockCertified, msg.view, msg.round, msg.height);
   note_fallback_qc(fqc, id());
 
   // ---- Fallback Propose (Fig 2) ----
@@ -502,6 +516,7 @@ void FallbackReplica::note_fallback_qc(const smr::Certificate& fqc, ReplicaId hi
   // §3 optimization / Fig 4: extend the first certified f-block we see at
   // each height instead of waiting for our own chain.
   if (fb_.adoption_enabled() && fqc.height < fb_.chain_len && own_height_ <= fqc.height) {
+    trace(obs::EventKind::kChainAdopted, fqc.view, fqc.round, fqc.height, fqc.proposer);
     propose_fblock(fqc.height + 1, fqc, std::nullopt);
   }
   // Fig 4 Fallback Propose: re-sign and multicast the first completed
@@ -554,6 +569,7 @@ void FallbackReplica::handle_coin_share(ReplicaId from, const smr::CoinShareMsg&
   if (!sig) return;
   const smr::CoinQC coin{msg.view, *sig};
   note_verified(coin);  // the accumulator verified the combined signature
+  trace(obs::EventKind::kCoinQcFormed, msg.view, 0);
   process_coin(coin);
 }
 
@@ -564,6 +580,7 @@ void FallbackReplica::process_coin(const smr::CoinQC& coin) {
 
   // ---- Exit Fallback (Fig 2) ----
   const ReplicaId leader = coin.leader(crypto_sys());
+  trace(obs::EventKind::kLeaderElected, coin.view, 0, 0, leader);
   const bool was_in_this_fallback =
       fallback_mode_ && fallback_entered_view_ && *fallback_entered_view_ == coin.view;
   if (was_in_this_fallback) {
@@ -572,12 +589,18 @@ void FallbackReplica::process_coin(const smr::CoinQC& coin) {
     // for liveness when the elected chain is rooted below our last vote).
     r_vote_ = r_vote_bar_[leader];
     ++stats_.fallbacks_exited;
-    stats_.fallback_time_total_us += sim().now() - fallback_entered_at_;
+    const SimTime duration = sim().now() - fallback_entered_at_;
+    stats_.fallback_time_total_us += duration;
+    if (fallback_duration_hist() != nullptr) {
+      fallback_duration_hist()->observe(duration);
+    }
+    trace(obs::EventKind::kFallbackExited, coin.view, 0, 0, leader);
   }
   fallback_mode_ = false;
   v_cur_ = coin.view + 1;
   timed_out_cur_round_ = false;
   consecutive_timeouts_ = 0;
+  trace(obs::EventKind::kViewEntered, v_cur_, r_cur_);
   persist_vote_state();  // view change + adopted r_vote become durable
 
   // Execute Lock on the highest (now endorsed) f-QC of the elected leader

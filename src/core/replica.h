@@ -4,6 +4,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "common/bytes.h"
 #include "common/rng.h"
@@ -11,6 +12,8 @@
 #include "core/config.h"
 #include "crypto/dealer.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulation.h"
 #include "smr/decode_cache.h"
 #include "smr/ledger.h"
@@ -47,35 +50,54 @@ struct ReplicaContext {
   /// so one decode serves n deliveries); when unset the replica builds a
   /// private cache of config.decode_cache_capacity entries.
   std::shared_ptr<smr::DecodeCache> decode_cache;
+
+  /// Optional structured trace sink. When set, the replica records its
+  /// protocol milestones (proposals, votes, certificates, fallback
+  /// transitions, commits) into this ring; when unset tracing is free.
+  std::shared_ptr<obs::TraceRing> trace;
+
+  /// Optional harness hook: invoked once per record this replica commits
+  /// (after the ledger append). Distinct from Ledger::set_commit_callback,
+  /// which applications (kv_store, bftnode) already own.
+  std::function<void(const smr::CommitRecord&)> on_commit;
+
+  /// Optional latency histogram: completed fallback durations
+  /// (enter -> coin exit) in microseconds land here. Not owned.
+  obs::Histogram* fallback_duration_hist = nullptr;
 };
 
 /// Observable per-replica protocol counters (for experiments and tests).
+///
+/// Every field is a relaxed-atomic obs::Counter so the same storage can
+/// be read live by the metrics registry / admin endpoint while the
+/// protocol increments it; the struct remains the single source of truth
+/// (register_replica_stats attaches pointers, it does not copy).
 struct ReplicaStats {
-  std::uint64_t proposals_sent = 0;
-  std::uint64_t votes_sent = 0;
-  std::uint64_t timeouts_sent = 0;
-  std::uint64_t fallbacks_entered = 0;
-  std::uint64_t fallbacks_exited = 0;
-  std::uint64_t blocks_fetched = 0;
+  obs::Counter proposals_sent;
+  obs::Counter votes_sent;
+  obs::Counter timeouts_sent;
+  obs::Counter fallbacks_entered;
+  obs::Counter fallbacks_exited;
+  obs::Counter blocks_fetched;
   /// Total simulated time spent inside fallbacks (enter -> exit), summed
   /// over completed fallbacks. Mean duration = total / fallbacks_exited.
-  std::uint64_t fallback_time_total_us = 0;
+  obs::Counter fallback_time_total_us;
   /// Verified-certificate cache: hits avoided a full threshold
   /// verification; misses performed one. Covers QCs/f-QCs, TCs, f-TCs
   /// and coin-QCs routed through the cached verify path.
-  std::uint64_t cert_verify_hits = 0;
-  std::uint64_t cert_verify_misses = 0;
+  obs::Counter cert_verify_hits;
+  obs::Counter cert_verify_misses;
   /// Decode-once delivery cache, counted per delivery at this replica: a
   /// hit reused an already-decoded message (no parse), a miss ran a full
   /// decode_message. With the harness-shared cache, one multicast costs
   /// one miss across all n replicas (the sender's encode pre-populates).
-  std::uint64_t decode_hits = 0;
-  std::uint64_t decode_misses = 0;
+  obs::Counter decode_hits;
+  obs::Counter decode_misses;
   /// Serializations performed by this replica's multicast() calls. The
   /// zero-copy data path encodes exactly once per multicast, so summed
   /// over replicas this equals NetStats::multicasts (the benches print
   /// the ratio as serializations/multicast = 1).
-  std::uint64_t multicast_encodes = 0;
+  obs::Counter multicast_encodes;
   /// Share accumulators (optimistic quorum assembly): per-share
   /// verify_share calls actually paid, shares buffered without immediate
   /// verification, certificates formed by a single combine-then-verify,
@@ -83,12 +105,46 @@ struct ReplicaStats {
   /// invalid shares evicted/rejected. In eager mode (lazy_share_verify
   /// off) shares_verified counts every accepted-or-rejected share and the
   /// optimistic/fallback counters stay 0.
-  std::uint64_t shares_verified = 0;
-  std::uint64_t shares_deferred = 0;
-  std::uint64_t combines_optimistic = 0;
-  std::uint64_t combine_fallbacks = 0;
-  std::uint64_t bad_shares_rejected = 0;
+  obs::Counter shares_verified;
+  obs::Counter shares_deferred;
+  obs::Counter combines_optimistic;
+  obs::Counter combine_fallbacks;
+  obs::Counter bad_shares_rejected;
 };
+
+/// Walk every ReplicaStats counter with its stable metric name. Single
+/// enumeration point: registration, exports and tests all use this, so a
+/// new field added here is automatically a registered metric.
+template <typename Fn>
+void for_each_counter(const ReplicaStats& s, Fn&& fn) {
+  fn("repro_proposals_sent_total", &s.proposals_sent);
+  fn("repro_votes_sent_total", &s.votes_sent);
+  fn("repro_timeouts_sent_total", &s.timeouts_sent);
+  fn("repro_fallbacks_entered_total", &s.fallbacks_entered);
+  fn("repro_fallbacks_exited_total", &s.fallbacks_exited);
+  fn("repro_blocks_fetched_total", &s.blocks_fetched);
+  fn("repro_fallback_time_us_total", &s.fallback_time_total_us);
+  fn("repro_cert_verify_hits_total", &s.cert_verify_hits);
+  fn("repro_cert_verify_misses_total", &s.cert_verify_misses);
+  fn("repro_decode_hits_total", &s.decode_hits);
+  fn("repro_decode_misses_total", &s.decode_misses);
+  fn("repro_multicast_encodes_total", &s.multicast_encodes);
+  fn("repro_shares_verified_total", &s.shares_verified);
+  fn("repro_shares_deferred_total", &s.shares_deferred);
+  fn("repro_combines_optimistic_total", &s.combines_optimistic);
+  fn("repro_combine_fallbacks_total", &s.combine_fallbacks);
+  fn("repro_bad_shares_rejected_total", &s.bad_shares_rejected);
+}
+
+/// Attach every counter of `s` to `reg` under a replica="<id>" label.
+/// Re-registering the same replica id (restart) replaces the attachment.
+inline void register_replica_stats(obs::Registry& reg, const ReplicaStats& s,
+                                   ReplicaId id) {
+  const obs::Labels labels{{"replica", std::to_string(id)}};
+  for_each_counter(s, [&](const char* name, const obs::Counter* c) {
+    reg.attach_counter(name, labels, c);
+  });
+}
 
 class IReplica {
  public:
@@ -110,7 +166,7 @@ class IReplica {
   virtual const smr::Ledger& ledger() const = 0;
   virtual smr::Ledger& ledger() = 0;
 
-  // Introspection for tests / metrics.
+  /// Introspection for tests / metrics.
   virtual Round current_round() const = 0;
   virtual View current_view() const = 0;
   virtual bool in_fallback() const = 0;

@@ -15,6 +15,9 @@ ReplicaBase::ReplicaBase(const ReplicaContext& ctx)
       mempool_(ctx.id, ctx.config.batch_bytes, Rng(ctx.seed ^ 0x6d656d706f6f6cull)),
       on_block_born_(ctx.on_block_born),
       payload_source_(ctx.payload_source),
+      trace_(ctx.trace),
+      on_commit_(ctx.on_commit),
+      fallback_duration_hist_(ctx.fallback_duration_hist),
       wal_(ctx.wal),
       vcache_(ctx.config.cert_cache_capacity),
       dcache_(ctx.decode_cache
@@ -329,11 +332,18 @@ void ReplicaBase::try_commit_from(const smr::Certificate& cert, ReplicaId hint) 
     ensure_block(*missing, hint);
     return;
   }
+  const std::size_t before = ledger_.size();
   const std::size_t n = ledger_.commit_chain(*oldest, store_, sim_->now());
   if (n > 0) {
     LOG_DEBUG("replica %u: committed %zu block(s), tip round %llu view %llu", id_, n,
               static_cast<unsigned long long>(oldest->round),
               static_cast<unsigned long long>(oldest->view));
+    for (std::size_t i = before; i < ledger_.size(); ++i) {
+      const smr::CommitRecord& rec = ledger_.records()[i];
+      trace(obs::EventKind::kBlockCommitted, rec.view, rec.round, rec.height,
+            smr::BlockIdHash{}(rec.id));
+      if (on_commit_) on_commit_(rec);
+    }
   }
 }
 

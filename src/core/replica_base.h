@@ -246,6 +246,19 @@ class ReplicaBase : public IReplica {
     if (on_block_born_) on_block_born_(id, sim_->now());
   }
 
+  // Observability ---------------------------------------------------------
+  /// Record a structured trace event at the current sim time. Free (one
+  /// branch) when no trace ring is installed.
+  void trace(obs::EventKind kind, View view, Round round,
+             std::uint64_t height = 0, std::uint64_t aux = 0) {
+    if (trace_ && trace_->enabled()) {
+      trace_->push({kind, id_, sim_->now(), 0, view, round, height, aux});
+    }
+  }
+
+  /// Fallback-duration histogram installed by the harness (may be null).
+  obs::Histogram* fallback_duration_hist() { return fallback_duration_hist_; }
+
   /// Transaction batch for the next proposed block: the application's
   /// payload source if one is installed, else the synthetic mempool. The
   /// kInvalidTxns fault corrupts the batch (0xFF prefix) so external
@@ -304,6 +317,9 @@ class ReplicaBase : public IReplica {
   smr::Mempool mempool_;
   std::function<void(const smr::BlockId&, SimTime)> on_block_born_;
   std::function<Bytes()> payload_source_;
+  std::shared_ptr<obs::TraceRing> trace_;
+  std::function<void(const smr::CommitRecord&)> on_commit_;
+  obs::Histogram* fallback_duration_hist_ = nullptr;
   storage::Wal* wal_ = nullptr;
   bool recovered_ = false;
   bool halted_ = false;

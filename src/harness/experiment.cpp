@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/assert.h"
 
@@ -27,6 +28,13 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
   // recipient (and not at all when the sender pre-populated at encode).
   decode_cache_ = std::make_shared<smr::DecodeCache>(cfg_.pcfg.decode_cache_capacity);
 
+  // Observability: latency histograms owned by the registry, every
+  // NetStats counter attached in place (the registry reads the same
+  // atomics the network increments).
+  commit_latency_hist_ = &registry_.histogram("repro_commit_latency_us");
+  fallback_duration_hist_ = &registry_.histogram("repro_fallback_duration_us");
+  net::register_net_stats(registry_, net_->stats());
+
   replicas_.reserve(cfg_.n);
   for (ReplicaId id = 0; id < cfg_.n; ++id) {
     core::ReplicaContext ctx;
@@ -50,8 +58,31 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
       ctx.wal = wals_.back().get();
     }
     ctx.decode_cache = decode_cache_;
+    if (cfg_.trace_capacity > 0) {
+      traces_.push_back(std::make_shared<obs::TraceRing>(cfg_.trace_capacity,
+                                                         /*wall_clock=*/false));
+      ctx.trace = traces_.back();
+    }
+    ctx.on_commit = [this](const smr::CommitRecord& rec) {
+      auto it = births_.find(rec.id);
+      if (it != births_.end() && rec.commit_time >= it->second) {
+        commit_latency_hist_->observe(rec.commit_time - it->second);
+      }
+    };
+    ctx.fallback_duration_hist = fallback_duration_hist_;
     ctxs_.push_back(ctx);
     replicas_.push_back(build_replica_with_ctx(ctx));
+    core::register_replica_stats(registry_, replicas_[id]->stats(), id);
+    const obs::Labels labels{{"replica", std::to_string(id)}};
+    // Gauges read through replicas_[id] at snapshot time, so they keep
+    // pointing at the live instance across restart_replica.
+    registry_.attach_gauge_fn("repro_committed_blocks", labels, [this, id] {
+      return static_cast<std::uint64_t>(replicas_[id]->ledger().size());
+    });
+    registry_.attach_gauge_fn("repro_current_view", labels,
+                              [this, id] { return replicas_[id]->current_view(); });
+    registry_.attach_gauge_fn("repro_current_round", labels,
+                              [this, id] { return replicas_[id]->current_round(); });
     net_->register_handler(id, [this, id](ReplicaId from, const Bytes& payload) {
       replicas_[id]->on_message(from, payload);
     });
@@ -132,6 +163,9 @@ void Experiment::restart_replica(ReplicaId id) {
   replicas_[id]->halt();
   parked_.push_back(std::move(replicas_[id]));
   replicas_[id] = build_replica_with_ctx(ctxs_[id]);
+  // The new instance owns fresh counter storage; re-attach it under the
+  // same metric identity (the registry replaces the old pointers).
+  core::register_replica_stats(registry_, replicas_[id]->stats(), id);
   replicas_[id]->start();
 }
 
@@ -191,6 +225,34 @@ SafetyReport Experiment::check_safety() const {
     }
   }
   return report;
+}
+
+std::vector<obs::TraceEvent> Experiment::trace_events() const {
+  std::vector<std::vector<obs::TraceEvent>> per_replica;
+  per_replica.reserve(traces_.size());
+  for (const auto& ring : traces_) per_replica.push_back(ring->events());
+  return obs::merge_traces(per_replica);
+}
+
+std::string Experiment::traces_ndjson() const {
+  return obs::to_ndjson(trace_events());
+}
+
+namespace {
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  return std::fclose(f) == 0 && n == content.size();
+}
+}  // namespace
+
+bool Experiment::write_traces(const std::string& path) const {
+  return write_file(path, traces_ndjson());
+}
+
+bool Experiment::write_metrics(const std::string& path) const {
+  return write_file(path, registry_.snapshot().ndjson());
 }
 
 std::vector<SimTime> Experiment::commit_latencies(ReplicaId id) const {

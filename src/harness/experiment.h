@@ -63,6 +63,10 @@ struct ExperimentConfig {
   /// Give every replica a write-ahead log (in-memory, owned by the
   /// Experiment) so restart_replica() can crash-recover it.
   bool enable_wal = false;
+
+  /// Structured-trace ring capacity per replica; 0 disables tracing (the
+  /// replicas then skip event recording entirely).
+  std::size_t trace_capacity = 0;
 };
 
 /// Result of the pairwise ledger prefix-consistency check.
@@ -106,6 +110,25 @@ class Experiment {
 
   bool is_honest(ReplicaId id) const;
 
+  // ---- observability ---------------------------------------------------
+  /// The experiment's metrics registry: every ReplicaStats / NetStats
+  /// counter plus the commit-latency and fallback-duration histograms,
+  /// served directly from protocol storage (attach, not copy).
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
+
+  /// Merged global timeline of every replica's trace ring, ordered by
+  /// (time, replica). Empty unless cfg.trace_capacity > 0.
+  std::vector<obs::TraceEvent> trace_events() const;
+
+  /// NDJSON of the merged timeline (deterministic for identical runs).
+  std::string traces_ndjson() const;
+
+  /// Write the merged NDJSON trace / a registry metrics snapshot to a
+  /// file. Returns false on I/O failure.
+  bool write_traces(const std::string& path) const;
+  bool write_metrics(const std::string& path) const;
+
   sim::Simulation& sim() { return sim_; }
   net::Network& network() { return *net_; }
   /// The system-wide decode-once cache (shared by all replicas).
@@ -133,6 +156,11 @@ class Experiment {
   std::vector<std::unique_ptr<core::IReplica>> parked_;
   /// Block id -> creation time (filled by the replicas' birth hook).
   std::unordered_map<smr::BlockId, SimTime, smr::BlockIdHash> births_;
+  obs::Registry registry_;
+  /// Per-replica trace rings (empty when tracing is disabled).
+  std::vector<std::shared_ptr<obs::TraceRing>> traces_;
+  obs::Histogram* commit_latency_hist_ = nullptr;    ///< owned by registry_
+  obs::Histogram* fallback_duration_hist_ = nullptr; ///< owned by registry_
 };
 
 }  // namespace repro::harness

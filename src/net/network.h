@@ -15,12 +15,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/delay_model.h"
+#include "obs/metrics.h"
 #include "sim/simulation.h"
 
 namespace repro::net {
@@ -38,35 +40,35 @@ namespace repro::net {
 ///    included, undeliverable payloads excluded) — a processing metric
 ///    for drain/quiescence checks, not a traffic metric.
 struct NetStats {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
+  obs::Counter messages;
+  obs::Counter bytes;
   /// Self-deliveries, excluded from `messages`/`bytes` per the policy.
-  std::uint64_t self_messages = 0;
-  std::uint64_t self_bytes = 0;
+  obs::Counter self_messages;
+  obs::Counter self_bytes;
   /// Indexed by the message-type tag (first byte of the payload).
-  std::array<std::uint64_t, 32> messages_by_type{};
-  std::array<std::uint64_t, 32> bytes_by_type{};
+  std::array<obs::Counter, 32> messages_by_type{};
+  std::array<obs::Counter, 32> bytes_by_type{};
 
-  // Data-path counters (zero-copy multicast + batched writes). These are
-  // efficiency metrics, not traffic metrics: they never feed the
-  // communication-complexity benches.
+  /// Data-path counters (zero-copy multicast + batched writes). These are
+  /// efficiency metrics, not traffic metrics: they never feed the
+  /// communication-complexity benches.
   /// multicast() invocations.
-  std::uint64_t multicasts = 0;
+  obs::Counter multicasts;
   /// Payload buffers that were *shared* instead of deep-copied: for each
   /// multicast, every recipient beyond the first reuses the one
   /// serialized buffer (n recipients -> n-1 copies avoided).
-  std::uint64_t payload_copies_avoided = 0;
+  obs::Counter payload_copies_avoided;
   /// TCP transport only: writev() syscalls that made progress, frames
   /// fully flushed through them, and bytes written. Mean frames per batch
   /// = writev_frames / writev_batches.
-  std::uint64_t writev_batches = 0;
-  std::uint64_t writev_frames = 0;
-  std::uint64_t writev_bytes = 0;
+  obs::Counter writev_batches;
+  obs::Counter writev_frames;
+  obs::Counter writev_bytes;
   /// TCP transport only: frames rejected by the bounded per-peer send
   /// queue (backpressure drop policy; the protocol's timeout/fallback
   /// machinery recovers, exactly as for frames racing a connection drop).
-  std::uint64_t sendq_dropped_frames = 0;
-  std::uint64_t sendq_dropped_bytes = 0;
+  obs::Counter sendq_dropped_frames;
+  obs::Counter sendq_dropped_bytes;
 
   NetStats operator-(const NetStats& o) const {
     NetStats d;
@@ -88,6 +90,38 @@ struct NetStats {
     return d;
   }
 };
+
+/// Walk every scalar NetStats counter with its stable metric name (the
+/// by-type arrays are registered separately, one label per type tag).
+template <typename Fn>
+void for_each_counter(const NetStats& s, Fn&& fn) {
+  fn("repro_net_messages_total", &s.messages);
+  fn("repro_net_bytes_total", &s.bytes);
+  fn("repro_net_self_messages_total", &s.self_messages);
+  fn("repro_net_self_bytes_total", &s.self_bytes);
+  fn("repro_net_multicasts_total", &s.multicasts);
+  fn("repro_net_payload_copies_avoided_total", &s.payload_copies_avoided);
+  fn("repro_net_writev_batches_total", &s.writev_batches);
+  fn("repro_net_writev_frames_total", &s.writev_frames);
+  fn("repro_net_writev_bytes_total", &s.writev_bytes);
+  fn("repro_net_sendq_dropped_frames_total", &s.sendq_dropped_frames);
+  fn("repro_net_sendq_dropped_bytes_total", &s.sendq_dropped_bytes);
+}
+
+/// Attach every NetStats counter to `reg`; by-type tallies get a
+/// type="<tag>" label. Storage stays inside `s` — no duplication.
+inline void register_net_stats(obs::Registry& reg, const NetStats& s) {
+  for_each_counter(s, [&](const char* name, const obs::Counter* c) {
+    reg.attach_counter(name, {}, c);
+  });
+  for (std::size_t i = 0; i < s.messages_by_type.size(); ++i) {
+    const obs::Labels labels{{"type", std::to_string(i)}};
+    reg.attach_counter("repro_net_messages_by_type_total", labels,
+                       &s.messages_by_type[i]);
+    reg.attach_counter("repro_net_bytes_by_type_total", labels,
+                       &s.bytes_by_type[i]);
+  }
+}
 
 /// What protocol code needs from a network: point-to-point send and
 /// multicast. The simulated Network below implements it for experiments;

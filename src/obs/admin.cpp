@@ -1,0 +1,110 @@
+#include "obs/admin.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/log.h"
+
+namespace repro::obs {
+namespace {
+
+void send_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void respond(int fd, int code, const char* content_type, const std::string& body) {
+  std::string head = "HTTP/1.0 " + std::to_string(code) +
+                     (code == 200 ? " OK" : " Not Found") +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  send_all(fd, head.data(), head.size());
+  send_all(fd, body.data(), body.size());
+}
+
+}  // namespace
+
+AdminServer::AdminServer(std::uint16_t port, const Registry* registry,
+                         std::shared_ptr<const TraceRing> trace)
+    : registry_(registry), trace_(std::move(trace)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return;
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 8) != 0) {
+    LOG_WARN("admin: failed to bind 127.0.0.1:%u (%s)", unsigned(port),
+             std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  socklen_t alen = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] { serve_loop(); });
+  LOG_INFO("admin: serving /metrics and /trace on 127.0.0.1:%u", unsigned(port_));
+}
+
+AdminServer::~AdminServer() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) {
+    // shutdown() wakes the blocking accept; close() reclaims the fd.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void AdminServer::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load(std::memory_order_relaxed)) break;
+      continue;
+    }
+    handle_client(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::handle_client(int fd) {
+  char buf[1024];
+  const ssize_t n = ::recv(fd, buf, sizeof buf - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  // "GET <path> HTTP/1.x" — only the path matters.
+  std::string req(buf);
+  std::string path;
+  if (req.rfind("GET ", 0) == 0) {
+    const std::size_t end = req.find(' ', 4);
+    if (end != std::string::npos) path = req.substr(4, end - 4);
+  }
+  if (path == "/healthz") {
+    respond(fd, 200, "text/plain", "ok\n");
+  } else if (path == "/metrics" && registry_ != nullptr) {
+    respond(fd, 200, "text/plain; version=0.0.4", registry_->snapshot().prometheus());
+  } else if (path == "/trace" && trace_ != nullptr) {
+    respond(fd, 200, "application/x-ndjson", to_ndjson(trace_->events()));
+  } else {
+    respond(fd, 404, "text/plain", "not found\n");
+  }
+}
+
+}  // namespace repro::obs

@@ -1,0 +1,45 @@
+// Minimal local admin endpoint for real-time nodes: serves the metrics
+// registry in Prometheus text format and the trace ring as NDJSON over
+// plain HTTP/1.0 on a loopback TCP port. One blocking accept thread, one
+// request per connection — diagnostics plumbing, not a web server.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace repro::obs {
+
+class AdminServer {
+ public:
+  /// Binds 127.0.0.1:`port` (port 0 lets the kernel pick; see port()).
+  /// `registry` and `trace` may be null — the endpoint then returns 404.
+  /// Routes: GET /metrics (Prometheus), GET /trace (NDJSON),
+  /// GET /healthz ("ok").
+  AdminServer(std::uint16_t port, const Registry* registry,
+              std::shared_ptr<const TraceRing> trace);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  bool running() const { return listen_fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+  void handle_client(int fd);
+
+  const Registry* registry_;
+  std::shared_ptr<const TraceRing> trace_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace repro::obs

@@ -1,0 +1,144 @@
+// Structured consensus traces: a bounded per-replica event ring plus
+// NDJSON import/export and a cross-replica timeline analyzer.
+//
+// Event kinds follow the protocol's observable milestones (the paper's
+// Figure 2 steady-state steps and Figure 4 fallback steps): proposals,
+// votes, the four certificate types (QC / TC / f-TC / coin-QC), fallback
+// entry/exit, f-block certification, chain adoption, leader election and
+// block commit. Each event carries the sim timestamp and, in real-time
+// runs, a wall-clock timestamp; the wall clock is deliberately *omitted*
+// from NDJSON when zero so that two identical seeded sim runs emit
+// byte-identical traces (the determinism pin in tests/test_obs.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace repro::obs {
+
+enum class EventKind : std::uint8_t {
+  kViewEntered = 0,
+  kProposalSent,
+  kProposalReceived,
+  kVoteSent,
+  kQcFormed,
+  kTcFormed,
+  kFtcFormed,
+  kCoinQcFormed,
+  kFallbackEntered,
+  kFallbackExited,
+  kFBlockCertified,
+  kChainAdopted,
+  kLeaderElected,
+  kBlockCommitted,
+};
+
+/// Stable wire name for an event kind (used in NDJSON `ev` field).
+const char* event_name(EventKind k);
+/// Inverse of event_name(); returns false if the name is unknown.
+bool event_from_name(const std::string& name, EventKind* out);
+
+struct TraceEvent {
+  EventKind kind = EventKind::kViewEntered;
+  ReplicaId replica = 0;
+  SimTime t_us = 0;           ///< simulator (or executor) virtual time
+  std::uint64_t wall_us = 0;  ///< CLOCK_REALTIME us; 0 in sim runs
+  View view = 0;
+  Round round = 0;
+  std::uint64_t height = 0;   ///< fallback chain rank; 0 for steady-state
+  std::uint64_t aux = 0;      ///< kind-specific payload (reason, leader, block hash)
+
+  bool operator==(const TraceEvent& o) const {
+    return kind == o.kind && replica == o.replica && t_us == o.t_us &&
+           wall_us == o.wall_us && view == o.view && round == o.round &&
+           height == o.height && aux == o.aux;
+  }
+};
+
+/// Fallback-entry reasons carried in TraceEvent::aux for kFallbackEntered.
+enum : std::uint64_t {
+  kFallbackReasonFtc = 1,     ///< f-TC formed after timeouts (Figure 4 trigger)
+  kFallbackReasonAlways = 2,  ///< always-fallback configuration (ACE/VABA mode)
+};
+
+/// Bounded event log. One ring per replica: the hot path appends under a
+/// cheap uncontended mutex (sim runs are single-threaded; TCP runs append
+/// from the node thread only), readers snapshot via events(). When full,
+/// the oldest events are overwritten and `dropped` counts the loss.
+class TraceRing {
+ public:
+  /// `capacity` of 0 disables recording entirely (every push is a no-op),
+  /// letting call sites keep unconditional trace calls. `wall_clock`
+  /// stamps wall_us from CLOCK_REALTIME — real-time runs only.
+  explicit TraceRing(std::size_t capacity, bool wall_clock = false);
+
+  void push(TraceEvent ev);
+  bool enabled() const { return capacity_ != 0; }
+
+  /// Oldest-first copy of the retained events.
+  std::vector<TraceEvent> events() const;
+  std::uint64_t recorded() const;  ///< total pushes, including overwritten
+  std::uint64_t dropped() const;   ///< pushes that evicted an older event
+
+ private:
+  const std::size_t capacity_;
+  const bool wall_clock_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  ///< write cursor once the ring is full
+  std::uint64_t recorded_ = 0;
+};
+
+/// Serialize events as NDJSON, one object per line, stable key order:
+/// {"ev":...,"replica":...,"t_us":...,["wall_us":...,]"view":...,
+///  "round":...,"height":...,"aux":...}
+/// wall_us is omitted when 0 (sim runs), keeping traces deterministic.
+std::string to_ndjson(const std::vector<TraceEvent>& events);
+
+/// Parse NDJSON produced by to_ndjson (tolerates unknown keys and blank
+/// lines; unknown `ev` names or malformed lines are skipped and counted).
+std::vector<TraceEvent> parse_ndjson(const std::string& text,
+                                     std::size_t* bad_lines = nullptr);
+
+/// Merge per-replica event streams into one global timeline ordered by
+/// (t_us, replica, arrival index) — deterministic for identical inputs.
+std::vector<TraceEvent> merge_traces(
+    const std::vector<std::vector<TraceEvent>>& per_replica);
+
+struct LatencyStats {
+  std::uint64_t count = 0;
+  double mean_us = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+};
+
+/// What tracecat reports: commit latency split by path, and the fallback
+/// win rate measured against the paper's Lemma 7 bound of 2/3.
+struct TraceReport {
+  std::uint64_t events_total = 0;
+  std::uint64_t counts[16] = {};  ///< indexed by EventKind
+
+  /// Per-commit latency: earliest kProposalSent for the (view,round,height)
+  /// coordinate to the first kBlockCommitted on any replica.
+  LatencyStats steady;    ///< height == 0 commits
+  LatencyStats fallback;  ///< height > 0 commits (certified f-blocks)
+
+  std::uint64_t fallbacks_entered = 0;  ///< distinct views with kFallbackEntered
+  std::uint64_t fallbacks_won = 0;      ///< of those, views that committed an f-block
+  double win_rate = 0;                  ///< fallbacks_won / fallbacks_entered
+  static constexpr double kPaperBound = 2.0 / 3.0;  ///< Lemma 7
+
+  LatencyStats fallback_duration;  ///< kFallbackEntered -> kFallbackExited per view
+
+  std::string summary() const;  ///< human-readable multi-line report
+};
+
+/// Analyze a merged timeline (see merge_traces).
+TraceReport analyze_trace(const std::vector<TraceEvent>& merged);
+
+}  // namespace repro::obs

@@ -565,9 +565,21 @@ void TcpNode::run_loop() {
   ctx.seed = cfg_.seed;
   ctx.wal = cfg_.wal;
   ctx.decode_cache = decode_cache_;
+  ctx.trace = cfg_.trace;
   replica_ = factory_(ctx);
   replica_->ledger().set_commit_callback(
       [this](const smr::Block&, SimTime) { committed_.fetch_add(1); });
+  if (cfg_.registry != nullptr) {
+    // The counters live inside the replica/network owned by this thread;
+    // attach is serialized by the registry mutex and each counter read is
+    // a relaxed atomic load, so the admin thread can snapshot while the
+    // node runs.
+    net::register_net_stats(*cfg_.registry, network_->stats());
+    core::register_replica_stats(*cfg_.registry, replica_->stats(), cfg_.id);
+    cfg_.registry->attach_gauge_fn("repro_committed_blocks",
+                                   {{"replica", std::to_string(cfg_.id)}},
+                                   [this] { return committed(); });
+  }
 
   // Dial lower-id peers (they accept); higher-id peers dial us.
   for (ReplicaId peer = 0; peer < cfg_.id; ++peer) try_connect(peer);

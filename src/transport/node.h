@@ -240,6 +240,15 @@ struct NodeConfig {
   /// producing frames faster than the workers verify them cannot grow
   /// jobs_/done_ without bound. 0 = unbounded (not recommended).
   std::size_t verify_backlog_max = 256;
+  /// Optional metrics registry: the node attaches its NetStats and
+  /// ReplicaStats counters once the replica exists on the node thread
+  /// (Registry::attach is mutex-protected; the counters themselves are
+  /// relaxed atomics, so an admin thread may snapshot while the node
+  /// runs). Not owned; must outlive the node.
+  obs::Registry* registry = nullptr;
+  /// Optional structured trace sink shared with the replica. Wall-clock
+  /// stamping should be enabled by the creator (real-time runtime).
+  std::shared_ptr<obs::TraceRing> trace;
 };
 
 /// Builds the protocol instance for a node. Lets the transport host any

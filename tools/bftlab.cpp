@@ -16,6 +16,7 @@
 
 #include "harness/experiment.h"
 #include "harness/invariants.h"
+#include "obs/metrics.h"
 
 using namespace repro;
 using namespace repro::harness;
@@ -39,7 +40,10 @@ void usage() {
       "  --eager        verify every threshold share on arrival (default is\n"
       "                 optimistic combine-then-verify accumulation)\n"
       "  --wal          enable write-ahead logs\n"
-      "  --quiet        metrics only, no banner\n");
+      "  --quiet        metrics only, no banner\n"
+      "  --trace-out F  write the merged NDJSON event trace to F\n"
+      "                 (analyze with tools/tracecat)\n"
+      "  --metrics-out F  write an NDJSON registry snapshot to F\n");
 }
 
 bool parse_protocol(const std::string& s, Protocol* out) {
@@ -80,6 +84,7 @@ int main(int argc, char** argv) {
   std::size_t commits = 50;
   SimTime horizon = 600'000'000;
   bool quiet = false;
+  std::string trace_out, metrics_out;
   std::vector<core::FaultKind> faults;
 
   for (int i = 1; i < argc; ++i) {
@@ -113,6 +118,10 @@ int main(int argc, char** argv) {
       cfg.enable_wal = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else if (arg == "--faults") {
       std::string list = next();
       std::size_t pos = 0;
@@ -149,9 +158,22 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cfg.seed), commits);
   }
 
+  if (!trace_out.empty() && cfg.trace_capacity == 0) {
+    cfg.trace_capacity = 1 << 16;
+  }
+
   Experiment exp(cfg);
   exp.start();
   const bool reached = exp.run_until_commits(commits, horizon);
+
+  if (!trace_out.empty() && !exp.write_traces(trace_out)) {
+    std::fprintf(stderr, "bftlab: cannot write trace to '%s'\n", trace_out.c_str());
+    return 2;
+  }
+  if (!metrics_out.empty() && !exp.write_metrics(metrics_out)) {
+    std::fprintf(stderr, "bftlab: cannot write metrics to '%s'\n", metrics_out.c_str());
+    return 2;
+  }
 
   const auto& st = exp.network().stats();
   const std::size_t decisions = exp.min_honest_commits();
@@ -212,7 +234,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(st.multicasts),
               static_cast<unsigned long long>(st.payload_copies_avoided));
   std::printf("fallbacks entered  : %llu", static_cast<unsigned long long>(fallbacks));
-  if (fb_exits > 0) std::printf(" (mean duration %.1f ms)", fb_time / 1000.0 / fb_exits);
+  if (fb_exits > 0) {
+    std::printf(" (mean duration %.1f ms)", obs::ratio(fb_time, fb_exits) / 1000.0);
+  }
   std::printf("\n");
 
   const SafetyReport safety = exp.check_safety();

@@ -15,6 +15,11 @@
 //   batch_bytes = 256
 //   wal = node0.wal            # optional: durable vote state
 //   report_ms = 1000           # status line interval (0 = quiet)
+//   admin_port = 9100          # optional: serve GET /metrics (Prometheus
+//                              # text), /trace (NDJSON) and /healthz on
+//                              # 127.0.0.1:<port>; 0 (default) = off
+//   trace_capacity = 65536     # trace ring size (events) when admin_port
+//                              # is set; 0 disables tracing
 //
 // Every node of a cluster must use the same `seed` and the same peer
 // list: the trusted-dealer keys are derived deterministically from the
@@ -27,6 +32,7 @@
 #include "common/config_file.h"
 #include "core/diembft.h"
 #include "core/fallback.h"
+#include "obs/admin.h"
 #include "transport/node.h"
 
 using namespace repro;
@@ -107,8 +113,32 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
+  // Observability: the registry and trace ring outlive the node; the node
+  // thread attaches its counters into them at startup and the admin
+  // server snapshots them on demand.
+  obs::Registry registry;
+  const auto admin_port = static_cast<std::uint16_t>(cfg_file->get_int("admin_port", 0));
+  const auto trace_capacity =
+      static_cast<std::size_t>(cfg_file->get_int("trace_capacity", 65536));
+  std::shared_ptr<obs::TraceRing> trace;
+  if (admin_port != 0 && trace_capacity > 0) {
+    trace = std::make_shared<obs::TraceRing>(trace_capacity, /*wall_clock=*/true);
+  }
+  if (admin_port != 0) {
+    cfg.registry = &registry;
+    cfg.trace = trace;
+  }
+
   TcpNode node(cfg, factory);
   node.start();
+  std::unique_ptr<obs::AdminServer> admin;
+  if (admin_port != 0) {
+    admin = std::make_unique<obs::AdminServer>(admin_port, &registry, trace);
+    if (admin->running()) {
+      std::printf("bftnode: admin endpoint on 127.0.0.1:%u (/metrics /trace /healthz)\n",
+                  unsigned(admin->port()));
+    }
+  }
   std::printf("bftnode: replica %u/%u (%s) listening on %s:%u%s\n", cfg.id, n,
               protocol.c_str(), cfg.peers[cfg.id].host.c_str(), cfg.peers[cfg.id].port,
               wal ? ", WAL enabled" : "");

@@ -1,0 +1,102 @@
+// tracecat — merge and analyze NDJSON consensus traces.
+//
+//   $ tracecat trace0.ndjson [trace1.ndjson ...]
+//   $ bftlab --trace-out trace.ndjson ... && tracecat trace.ndjson
+//
+// Input files are per-replica (or pre-merged) NDJSON event streams as
+// written by bftlab/benches (--trace-out) or served by bftnode's admin
+// /trace endpoint. tracecat merges them into one global timeline ordered
+// by (t_us, replica) and reports:
+//
+//   * per-kind event counts,
+//   * per-commit latency (first proposal of a (view, round, height)
+//     coordinate to its first commit anywhere), split into steady-state
+//     rounds (height = 0) and fallback rounds (height > 0),
+//   * completed fallback durations (enter -> coin exit), and
+//   * the observed fallback leader-win rate next to the paper's Lemma 7
+//     bound (an honest leader is elected, hence the fallback commits,
+//     with probability >= 2/3).
+//
+// Exit status: 0 on success, 1 if no valid events were found, 2 on usage
+// or I/O errors. `--merged-out <path>` additionally writes the merged
+// timeline as NDJSON (useful for diffing runs).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+using namespace repro;
+
+namespace {
+
+bool read_file(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<const char*> inputs;
+  const char* merged_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--merged-out") == 0 && i + 1 < argc) {
+      merged_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::fprintf(stderr, "usage: tracecat [--merged-out <path>] <trace.ndjson>...\n");
+      return 2;
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "usage: tracecat [--merged-out <path>] <trace.ndjson>...\n");
+    return 2;
+  }
+
+  std::vector<std::vector<obs::TraceEvent>> streams;
+  std::size_t bad_total = 0;
+  for (const char* path : inputs) {
+    std::string text;
+    if (!read_file(path, &text)) {
+      std::fprintf(stderr, "tracecat: cannot read '%s'\n", path);
+      return 2;
+    }
+    std::size_t bad = 0;
+    streams.push_back(obs::parse_ndjson(text, &bad));
+    bad_total += bad;
+  }
+  if (bad_total > 0) {
+    std::fprintf(stderr, "tracecat: skipped %zu malformed line(s)\n", bad_total);
+  }
+
+  const auto merged = obs::merge_traces(streams);
+  if (merged.empty()) {
+    std::fprintf(stderr, "tracecat: no valid events in %zu input file(s)\n",
+                 inputs.size());
+    return 1;
+  }
+
+  if (merged_out != nullptr) {
+    const std::string ndjson = obs::to_ndjson(merged);
+    std::FILE* f = std::fopen(merged_out, "w");
+    if (f == nullptr ||
+        std::fwrite(ndjson.data(), 1, ndjson.size(), f) != ndjson.size() ||
+        std::fclose(f) != 0) {
+      std::fprintf(stderr, "tracecat: cannot write '%s'\n", merged_out);
+      return 2;
+    }
+  }
+
+  const obs::TraceReport report = obs::analyze_trace(merged);
+  std::fputs(report.summary().c_str(), stdout);
+  return 0;
+}
