@@ -441,8 +441,10 @@ int main(int argc, char** argv) {
           .field("net_bytes", snap.value("repro_net_bytes_total"))
           .field("fallbacks_entered", snap.value("repro_fallbacks_entered_total"))
           .field("trace_events", report.events_total)
-          .field("steady_commit_latency_mean_us", report.steady.mean_us)
-          .field("fallback_commit_latency_mean_us", report.fallback.mean_us)
+          .field_mean("steady_commit_latency_mean_us", report.steady.mean_us,
+                      report.steady.count)
+          .field_mean("fallback_commit_latency_mean_us", report.fallback.mean_us,
+                      report.fallback.count)
           .field("fallback_win_rate", report.win_rate)
           .field("tracing_overhead_pct", overhead_pct)
           .append_to(json_path);

@@ -59,6 +59,14 @@ class JsonLine {
     return raw(key, buf);
   }
 
+  /// Mean over `count` samples, omitted entirely when count == 0: an empty
+  /// histogram has no mean, and emitting 0 would read as a measured value
+  /// (e.g. "steady_commit_latency_mean_us: 0" on an always-fallback run).
+  JsonLine& field_mean(const char* key, double mean, std::uint64_t count) {
+    if (count == 0) return *this;
+    return field(key, mean);
+  }
+
   /// Append as one NDJSON line; no-op when `path` is nullptr.
   void append_to(const char* path) const {
     if (path == nullptr) return;

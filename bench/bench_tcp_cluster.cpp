@@ -44,6 +44,9 @@ struct RunResult {
   double frames_per_writev() const {
     return obs::ratio(net.writev_frames, net.writev_batches);
   }
+  double frames_per_verify_batch() const {
+    return obs::ratio(net.verify_frames, net.verify_batches);
+  }
 };
 
 struct RunOpts {
@@ -114,8 +117,21 @@ RunResult run_cluster(std::uint32_t n, int millis, std::size_t batch_bytes,
     r.net.writev_bytes += st.writev_bytes;
     r.net.sendq_dropped_frames += st.sendq_dropped_frames;
     r.net.sendq_dropped_bytes += st.sendq_dropped_bytes;
+    r.net.verify_batches += st.verify_batches;
+    r.net.verify_frames += st.verify_frames;
+    r.net.verify_bypass_frames += st.verify_bypass_frames;
+    r.net.verify_dropped_at_stop += st.verify_dropped_at_stop;
   }
   return r;
+}
+
+/// Shared emitter for the verify-pool data-path fields of a JSON row.
+void add_verify_fields(bench::JsonLine& line, const RunResult& r) {
+  line.field("verify_batches", r.net.verify_batches)
+      .field("verify_frames", r.net.verify_frames)
+      .field("frames_per_verify_batch", r.frames_per_verify_batch())
+      .field("verify_bypass_frames", r.net.verify_bypass_frames)
+      .field("verify_dropped_at_stop", r.net.verify_dropped_at_stop);
 }
 
 }  // namespace
@@ -127,28 +143,33 @@ int main(int argc, char** argv) {
   std::printf("==============================================================\n\n");
 
   std::printf("--- throughput vs cluster size (1s wall clock each, empty blocks) ---\n");
-  std::printf("    %-6s %16s %12s %12s %14s %10s\n", "n", "blocks/s", "consistent",
-              "fallbacks", "frames/writev", "drops");
+  std::printf("    %-6s %-4s %14s %12s %12s %14s %10s\n", "n", "vt", "blocks/s",
+              "consistent", "fallbacks", "frames/writev", "drops");
   for (std::uint32_t n : {4u, 7u, 10u}) {
-    const RunResult r = run_cluster(n, 1000, 0);
-    std::printf("    %-6u %16.0f %12s %12llu %14.2f %10llu\n", n, r.blocks_per_sec,
-                r.consistent ? "yes" : "NO", static_cast<unsigned long long>(r.fallbacks),
-                r.frames_per_writev(),
-                static_cast<unsigned long long>(r.net.sendq_dropped_frames));
-    if (json_path != nullptr) {
-      bench::JsonLine("tcp_cluster")
-          .field("n", std::uint64_t{n})
-          .field("blocks_per_sec", r.blocks_per_sec)
-          .field("messages", r.net.messages)
-          .field("bytes", r.net.bytes)
-          .field("multicasts", r.net.multicasts)
-          .field("payload_copies_avoided", r.net.payload_copies_avoided)
-          .field("writev_batches", r.net.writev_batches)
-          .field("writev_frames", r.net.writev_frames)
-          .field("frames_per_writev", r.frames_per_writev())
-          .field("sendq_dropped_frames", r.net.sendq_dropped_frames)
-          .field("wall_time_s", r.wall_seconds)
-          .append_to(json_path);
+    for (std::size_t vt : {std::size_t{0}, std::size_t{2}}) {
+      RunOpts opts;
+      opts.verify_threads = vt;
+      const RunResult r = run_cluster(n, 1000, 0, opts);
+      std::printf("    %-6u %-4zu %14.0f %12s %12llu %14.2f %10llu\n", n, vt,
+                  r.blocks_per_sec, r.consistent ? "yes" : "NO",
+                  static_cast<unsigned long long>(r.fallbacks), r.frames_per_writev(),
+                  static_cast<unsigned long long>(r.net.sendq_dropped_frames));
+      if (json_path != nullptr) {
+        bench::JsonLine line("tcp_cluster");
+        line.field("n", std::uint64_t{n})
+            .field("verify_threads", std::uint64_t{vt})
+            .field("blocks_per_sec", r.blocks_per_sec)
+            .field("messages", r.net.messages)
+            .field("bytes", r.net.bytes)
+            .field("multicasts", r.net.multicasts)
+            .field("payload_copies_avoided", r.net.payload_copies_avoided)
+            .field("writev_batches", r.net.writev_batches)
+            .field("writev_frames", r.net.writev_frames)
+            .field("frames_per_writev", r.frames_per_writev())
+            .field("sendq_dropped_frames", r.net.sendq_dropped_frames);
+        add_verify_fields(line, r);
+        line.field("wall_time_s", r.wall_seconds).append_to(json_path);
+      }
     }
   }
 
@@ -164,19 +185,22 @@ int main(int argc, char** argv) {
   std::printf("    every view multicasts f-blocks, f-votes and coin shares from\n");
   std::printf("    all n replicas (O(n^2) frames/decision) — the send queues must\n");
   std::printf("    coalesce bursts or the poll threads drown in write syscalls.\n");
-  std::printf("    %-14s %12s %14s %12s %12s\n", "verify_threads", "blocks/s", "frames/writev",
-              "consistent", "drops");
-  for (std::size_t vt : {std::size_t{0}, std::size_t{2}}) {
+  std::printf("    sweep over verify_threads: 0 = inline verification on the node\n");
+  std::printf("    thread; >0 = batched, sender-sharded off-thread verification.\n");
+  std::printf("    %-14s %12s %14s %16s %12s %12s\n", "verify_threads", "blocks/s",
+              "frames/writev", "frames/vbatch", "consistent", "drops");
+  for (std::size_t vt : {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
     RunOpts opts;
     opts.always_fallback = true;
     opts.verify_threads = vt;
     const RunResult r = run_cluster(7, 1000, 0, opts);
-    std::printf("    %-14zu %12.0f %14.2f %12s %12llu\n", vt, r.blocks_per_sec,
-                r.frames_per_writev(), r.consistent ? "yes" : "NO",
+    std::printf("    %-14zu %12.0f %14.2f %16.2f %12s %12llu\n", vt, r.blocks_per_sec,
+                r.frames_per_writev(), r.frames_per_verify_batch(),
+                r.consistent ? "yes" : "NO",
                 static_cast<unsigned long long>(r.net.sendq_dropped_frames));
     if (json_path != nullptr) {
-      bench::JsonLine("tcp_cluster_multicast_load")
-          .field("n", std::uint64_t{7})
+      bench::JsonLine line("tcp_cluster_multicast_load");
+      line.field("n", std::uint64_t{7})
           .field("always_fallback", std::uint64_t{1})
           .field("verify_threads", std::uint64_t{vt})
           .field("blocks_per_sec", r.blocks_per_sec)
@@ -184,9 +208,9 @@ int main(int argc, char** argv) {
           .field("writev_frames", r.net.writev_frames)
           .field("frames_per_writev", r.frames_per_writev())
           .field("payload_copies_avoided", r.net.payload_copies_avoided)
-          .field("sendq_dropped_frames", r.net.sendq_dropped_frames)
-          .field("wall_time_s", r.wall_seconds)
-          .append_to(json_path);
+          .field("sendq_dropped_frames", r.net.sendq_dropped_frames);
+      add_verify_fields(line, r);
+      line.field("wall_time_s", r.wall_seconds).append_to(json_path);
     }
   }
 

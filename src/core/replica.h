@@ -157,6 +157,16 @@ class IReplica {
   /// Deliver a raw network payload (the Network calls this).
   virtual void on_message(ReplicaId from, const Bytes& payload) = 0;
 
+  /// Deliver a payload whose decode-cache content key the caller already
+  /// computed (the TCP verify pool hashes frames off-thread; re-hashing
+  /// on delivery would waste the work). `key` MUST equal
+  /// smr::DecodeCache::key_of(payload). Default: ignore the hint.
+  virtual void on_message_keyed(ReplicaId from, const Bytes& payload,
+                                const crypto::Digest& key) {
+    (void)key;
+    on_message(from, payload);
+  }
+
   /// Permanently silence this instance (crash simulation): pending timer
   /// callbacks and deliveries become no-ops. Used by the harness before
   /// replacing an instance with a WAL-recovered one.

@@ -114,12 +114,16 @@ bool ReplicaBase::recover_from_wal() {
 }
 
 void ReplicaBase::on_message(ReplicaId from, const Bytes& payload) {
-  if (halted_ || cfg_.fault.crashed()) return;
   // Decode-once: byte-identical payloads (a multicast seen by n replicas
   // through the shared cache, or a self-delivery the sender pre-populated
   // at encode time) parse once; any mutated byte changes the content key
   // and takes the full decode-and-verify path independently.
-  const crypto::Digest key = smr::DecodeCache::key_of(payload);
+  on_message_keyed(from, payload, smr::DecodeCache::key_of(payload));
+}
+
+void ReplicaBase::on_message_keyed(ReplicaId from, const Bytes& payload,
+                                   const crypto::Digest& key) {
+  if (halted_ || cfg_.fault.crashed()) return;
   bool cache_hit = false;
   auto msg = dcache_->decode(key, payload, &cache_hit);
   cache_hit ? ++stats_.decode_hits : ++stats_.decode_misses;
@@ -130,9 +134,11 @@ void ReplicaBase::on_message(ReplicaId from, const Bytes& payload) {
   // The signature memo is keyed by (payload bytes, sender): verification
   // is a pure function of the two, so a recorded success is as strong as
   // re-running it, while the same bytes replayed by a different sender
-  // still pay (and fail) the full check.
+  // still pay (and fail) the full check. The check itself runs against
+  // the wire bytes in hand — the signed prefix of the payload — instead
+  // of re-encoding the decoded form.
   if (!dcache_->sender_verified(key, from)) {
-    if (!smr::verify_message_signature(*crypto_, from, *msg)) {
+    if (!smr::verify_message_signature_wire(*crypto_, from, *msg, payload)) {
       LOG_WARN("replica %u: bad signature on message from %u", id_, from);
       return;
     }

@@ -67,6 +67,8 @@ class ReplicaBase : public IReplica {
 
   // IReplica ----------------------------------------------------------
   void on_message(ReplicaId from, const Bytes& payload) final;
+  void on_message_keyed(ReplicaId from, const Bytes& payload,
+                        const crypto::Digest& key) final;
   void halt() final { halted_ = true; }
   ReplicaId id() const final { return id_; }
   const smr::Ledger& ledger() const final { return ledger_; }

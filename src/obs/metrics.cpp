@@ -221,6 +221,13 @@ void Registry::attach_gauge_fn(const std::string& name, Labels labels,
   e.gauge_fn = std::move(fn);
 }
 
+void Registry::attach_histogram(const std::string& name, Labels labels,
+                                const Histogram* h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = upsert(name, std::move(labels), MetricKind::kHistogram);
+  e.ext_hist = h;
+}
+
 Snapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
@@ -230,13 +237,14 @@ Snapshot Registry::snapshot() const {
     s.name = e->name;
     s.labels = e->labels;
     s.kind = e->kind;
-    if (e->owned_hist) {
+    const Histogram* hist = e->owned_hist ? e->owned_hist.get() : e->ext_hist;
+    if (hist != nullptr) {
       s.buckets.resize(Histogram::kBuckets);
       for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
-        s.buckets[i] = e->owned_hist->bucket(i);
+        s.buckets[i] = hist->bucket(i);
       }
-      s.count = e->owned_hist->count();
-      s.sum = e->owned_hist->sum();
+      s.count = hist->count();
+      s.sum = hist->sum();
     } else if (e->owned_counter) {
       s.value = e->owned_counter->load();
     } else if (e->owned_gauge) {

@@ -180,6 +180,11 @@ class Registry {
   void attach_gauge_fn(const std::string& name, Labels labels,
                        std::function<std::uint64_t()> fn);
 
+  /// Attach an externally-owned histogram (same lifetime contract as
+  /// attach_counter: the storage must outlive the registry or be
+  /// replaced under the same name + labels before it dies).
+  void attach_histogram(const std::string& name, Labels labels, const Histogram* h);
+
   Snapshot snapshot() const;
 
  private:
@@ -191,6 +196,7 @@ class Registry {
     std::unique_ptr<Gauge> owned_gauge;
     std::unique_ptr<Histogram> owned_hist;
     const Counter* ext_counter = nullptr;
+    const Histogram* ext_hist = nullptr;
     std::function<std::uint64_t()> gauge_fn;
   };
 

@@ -313,16 +313,28 @@ std::string TraceReport::summary() const {
     std::snprintf(buf, sizeof buf, "  %-18s %" PRIu64 "\n", kn.name, c);
     out += buf;
   }
-  std::snprintf(buf, sizeof buf,
-                "commit latency (steady-state): n=%" PRIu64
-                " mean=%.1fus p50=%" PRIu64 "us p99=%" PRIu64 "us\n",
-                steady.count, steady.mean_us, steady.p50_us, steady.p99_us);
+  // Empty sample sets print no statistics: a mean of an empty histogram is
+  // not 0, it does not exist (an always-fallback run has no steady-state
+  // commits at all, and "mean=0.0us" there reads as an impossibly fast
+  // protocol rather than an empty bucket).
+  if (steady.count > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "commit latency (steady-state): n=%" PRIu64
+                  " mean=%.1fus p50=%" PRIu64 "us p99=%" PRIu64 "us\n",
+                  steady.count, steady.mean_us, steady.p50_us, steady.p99_us);
+  } else {
+    std::snprintf(buf, sizeof buf, "commit latency (steady-state): n=0 (no samples)\n");
+  }
   out += buf;
-  std::snprintf(buf, sizeof buf,
-                "commit latency (fallback):     n=%" PRIu64
-                " mean=%.1fus p50=%" PRIu64 "us p99=%" PRIu64 "us\n",
-                fallback.count, fallback.mean_us, fallback.p50_us,
-                fallback.p99_us);
+  if (fallback.count > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "commit latency (fallback):     n=%" PRIu64
+                  " mean=%.1fus p50=%" PRIu64 "us p99=%" PRIu64 "us\n",
+                  fallback.count, fallback.mean_us, fallback.p50_us,
+                  fallback.p99_us);
+  } else {
+    std::snprintf(buf, sizeof buf, "commit latency (fallback):     n=0 (no samples)\n");
+  }
   out += buf;
   if (fallback_duration.count > 0) {
     std::snprintf(buf, sizeof buf,

@@ -479,4 +479,23 @@ bool verify_message_signature(const crypto::CryptoSystem& crypto, ReplicaId send
       msg);
 }
 
+bool verify_message_signature_wire(const crypto::CryptoSystem& crypto, ReplicaId sender,
+                                   const Message& msg, BytesView payload) {
+  return std::visit(
+      [&](const auto& m) -> bool {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (kHasOuterSig<T>) {
+          // decode_message consumed the whole buffer and read m.sig from
+          // its tail, so the signed prefix is everything before it.
+          if (payload.size() < 1 + kSigSize) return false;
+          return crypto.signatures.verify(sender, payload.first(payload.size() - kSigSize),
+                                          m.sig);
+        } else {
+          (void)m;
+          return true;
+        }
+      },
+      msg);
+}
+
 }  // namespace repro::smr

@@ -149,4 +149,15 @@ void sign_message(const crypto::CryptoSystem& crypto, ReplicaId signer, Message&
 bool verify_message_signature(const crypto::CryptoSystem& crypto, ReplicaId sender,
                               const Message& msg);
 
+/// Envelope verification against the exact wire bytes `msg` was decoded
+/// from. The codec is canonical (fixed-width fields, decode_message
+/// rejects trailing garbage) and signed types append the 32-byte
+/// signature after the body, so for any payload with
+/// decode_message(payload) == msg the signing bytes are simply
+/// payload[0 .. size-32] — no re-encode, no allocation. Equivalent to
+/// verify_message_signature(crypto, sender, msg) under that precondition;
+/// callers holding only the decoded form keep using the re-encoding one.
+bool verify_message_signature_wire(const crypto::CryptoSystem& crypto, ReplicaId sender,
+                                   const Message& msg, BytesView payload);
+
 }  // namespace repro::smr

@@ -93,6 +93,20 @@ constexpr int kMaxReadSweeps = 4;
 
 // ---- VerifyPool -------------------------------------------------------------
 
+namespace {
+
+/// Monotonic microsecond tick for handoff-latency accounting. TCP-only
+/// plumbing — never feeds protocol logic, so wall-clock nondeterminism is
+/// fine here.
+std::uint64_t steady_tick_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 VerifyPool::VerifyPool(std::shared_ptr<const crypto::CryptoSystem> crypto, std::size_t threads,
                        std::function<void()> wake)
     : crypto_(std::move(crypto)), wake_(std::move(wake)) {
@@ -103,65 +117,116 @@ VerifyPool::VerifyPool(std::shared_ptr<const crypto::CryptoSystem> crypto, std::
   }
 }
 
-VerifyPool::~VerifyPool() {
+VerifyPool::~VerifyPool() { shutdown(); }
+
+std::size_t VerifyPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  // Everything submitted but not drained is now undeliverable.
+  return in_flight_.load(std::memory_order_relaxed);
+}
+
+void VerifyPool::submit_batch(std::vector<Item> batch) {
+  if (batch.empty()) return;
+  const std::uint64_t now_us = steady_tick_us();
+  batch_size_.observe(batch.size());
+  in_flight_.fetch_add(batch.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Item& it : batch) {
+      Shard& shard = shards_[it.from];
+      Slot& s = shard.slots.emplace_back();
+      s.r.from = it.from;
+      s.r.key = it.key;
+      s.r.payload = std::move(it.payload);
+      s.has_key = it.has_key;
+      s.submitted_tick_us = now_us;
+      jobs_.push_back(&s);
+    }
+  }
+  // One notify for the whole burst; a woken worker chains the next while
+  // jobs remain, so extra workers still engage for large batches.
+  cv_.notify_one();
 }
 
 void VerifyPool::submit(ReplicaId from, Bytes payload) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    jobs_.push_back(Job{next_seq_++, from, std::move(payload)});
-  }
-  cv_.notify_one();
+  std::vector<Item> one(1);
+  one[0].from = from;
+  one[0].payload = std::move(payload);
+  submit_batch(std::move(one));
 }
 
 std::vector<VerifyPool::Result> VerifyPool::drain_ready() {
   std::vector<Result> out;
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = done_.find(next_deliver_); it != done_.end();
-       it = done_.find(next_deliver_)) {
-    out.push_back(std::move(it->second));
-    done_.erase(it);
-    ++next_deliver_;
+  // Clear the latch first: a completion racing this drain triggers a
+  // fresh wake (at worst one spurious poll wakeup, never a lost result).
+  wake_pending_.store(false, std::memory_order_release);
+  std::uint64_t now_us = 0;  // stamped lazily; most calls drain nothing
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [from, shard] : shards_) {
+      while (!shard.slots.empty() && shard.slots.front().done) {
+        Slot& s = shard.slots.front();
+        if (now_us == 0) now_us = steady_tick_us();
+        handoff_us_.observe(now_us - s.submitted_tick_us);
+        out.push_back(std::move(s.r));
+        shard.slots.pop_front();
+      }
+    }
   }
+  in_flight_.fetch_sub(out.size(), std::memory_order_relaxed);
   return out;
 }
 
-std::size_t VerifyPool::in_flight() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<std::size_t>(next_seq_ - next_deliver_);
-}
-
 void VerifyPool::worker_loop() {
+  std::vector<Slot*> chunk;
   for (;;) {
-    Job job;
+    chunk.clear();
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
       if (stop_) return;
-      job = std::move(jobs_.front());
-      jobs_.pop_front();
+      const auto take =
+          static_cast<std::ptrdiff_t>(std::min(jobs_.size(), kChunkFrames));
+      chunk.assign(jobs_.begin(), jobs_.begin() + take);
+      jobs_.erase(jobs_.begin(), jobs_.begin() + take);
+      if (!jobs_.empty()) cv_.notify_one();  // chain the next worker
     }
-    Result r;
-    r.from = job.from;
-    r.key = smr::DecodeCache::key_of(job.payload);
-    r.msg = smr::decode_message(job.payload);
-    r.sig_ok = r.msg && smr::verify_message_signature(*crypto_, job.from, *r.msg);
-    r.payload = std::move(job.payload);
-    bool head = false;
+    // Verify the whole chunk outside the lock: one handoff round for up
+    // to kChunkFrames frames. The envelope check runs against the wire
+    // bytes in hand (signed prefix of the payload) — no re-encode.
+    for (Slot* s : chunk) {
+      Result& r = s->r;
+      if (!s->has_key) r.key = smr::DecodeCache::key_of(r.payload);
+      r.msg = smr::decode_message(r.payload);
+      r.sig_ok =
+          r.msg && smr::verify_message_signature_wire(*crypto_, r.from, *r.msg, r.payload);
+    }
+    bool drainable = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      head = job.seq == next_deliver_;
-      done_.emplace(job.seq, std::move(r));
+      for (Slot* s : chunk) s->done = true;
+      // Results became drainable iff some completed slot now heads its
+      // sender's shard (later slots ride out with it on the same drain).
+      for (Slot* s : chunk) {
+        const Shard& shard = shards_.find(s->r.from)->second;
+        if (!shard.slots.empty() && &shard.slots.front() == s) {
+          drainable = true;
+          break;
+        }
+      }
     }
-    // Only the head-of-line completion needs to wake the node thread; the
-    // rest become drainable when the head does.
-    if (head && wake_) wake_();
+    // Collapse wakes: one wake-pipe write per drain cycle, not one per
+    // completion — the node drains whole batches per poll iteration.
+    if (drainable && !wake_pending_.exchange(true, std::memory_order_acq_rel) && wake_) {
+      wake_();
+    }
   }
 }
 
@@ -469,27 +534,57 @@ void TcpNode::sweep_half_open() {
 
 void TcpNode::on_frame(ReplicaId from, Bytes payload) {
   if (verify_pool_) {
-    // Off-thread decode + envelope verification; delivery happens in
-    // submission order from drain_verified().
-    verify_pool_->submit(from, std::move(payload));
+    VerifyPool::Item item;
+    item.from = from;
+    if (verify_pending_by_sender_[from] == 0) {
+      // Idle sender: probe the decode cache. A hit with this sender
+      // already marked verified makes delivery a pure cache lookup, so the
+      // pool round-trip would be pure overhead — deliver inline. Safe for
+      // per-sender ordering precisely because nothing from `from` is in
+      // flight. The key is computed here either way and rides along on the
+      // Item, so a miss costs the workers no second hash.
+      item.key = smr::DecodeCache::key_of(payload);
+      item.has_key = true;
+      if (decode_cache_->sender_verified(item.key, from)) {
+        network_->stats().verify_bypass_frames += 1;
+        if (replica_) replica_->on_message_keyed(from, payload, item.key);
+        return;
+      }
+    }
+    // Buffer for the end-of-sweep submit_batch — one lock + one notify for
+    // the whole read burst instead of one per frame.
+    item.payload = std::move(payload);
+    pending_batch_.push_back(std::move(item));
+    ++verify_pending_by_sender_[from];
     return;
   }
   if (replica_) replica_->on_message(from, payload);
 }
 
+void TcpNode::flush_verify_batch() {
+  if (!verify_pool_ || pending_batch_.empty()) return;
+  net::NetStats& stats = network_->stats();
+  stats.verify_batches += 1;
+  stats.verify_frames += pending_batch_.size();
+  verify_pool_->submit_batch(std::move(pending_batch_));
+  pending_batch_.clear();
+}
+
 void TcpNode::drain_verified() {
   if (!verify_pool_) return;
   for (auto& r : verify_pool_->drain_ready()) {
+    --verify_pending_by_sender_[r.from];
     if (r.msg && r.sig_ok) {
       // Seed the shared decode cache (marking the sender verified), so the
-      // replica's on_message below is a pure cache hit: no parse, no
+      // replica's delivery below is a pure cache hit: no parse, no
       // signature check on the protocol thread.
       decode_cache_->insert(r.key, std::move(*r.msg), r.from);
     }
     // Deliver unconditionally — the replica re-derives (and logs) decode
     // or signature failures itself, keeping semantics identical to the
-    // inline path.
-    if (replica_) replica_->on_message(r.from, r.payload);
+    // inline path. The keyed entry point reuses the digest the worker (or
+    // the bypass probe) already computed.
+    if (replica_) replica_->on_message_keyed(r.from, r.payload, r.key);
   }
 }
 
@@ -555,6 +650,8 @@ void TcpNode::run_loop() {
       [[maybe_unused]] ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
     });
   }
+  verify_pending_by_sender_.assign(cfg_.peers.size(), 0);
+  pending_batch_.clear();
 
   core::ReplicaContext ctx;
   ctx.sim = &executor_;
@@ -579,6 +676,19 @@ void TcpNode::run_loop() {
     cfg_.registry->attach_gauge_fn("repro_committed_blocks",
                                    {{"replica", std::to_string(cfg_.id)}},
                                    [this] { return committed(); });
+    if (verify_pool_) {
+      const obs::Labels labels{{"replica", std::to_string(cfg_.id)}};
+      // in_flight() is a relaxed atomic load; the pool object outlives the
+      // loop (shutdown() joins the workers but keeps the storage), so the
+      // admin thread can keep scraping after the node stops.
+      cfg_.registry->attach_gauge_fn("repro_verify_queue_depth", labels, [this] {
+        return static_cast<std::uint64_t>(verify_pool_->in_flight());
+      });
+      cfg_.registry->attach_histogram("repro_verify_batch_size", labels,
+                                      &verify_pool_->batch_size_hist());
+      cfg_.registry->attach_histogram("repro_verify_handoff_latency_us", labels,
+                                      &verify_pool_->handoff_latency_hist());
+    }
   }
 
   // Dial lower-id peers (they accept); higher-id peers dial us.
@@ -598,11 +708,13 @@ void TcpNode::run_loop() {
       // not registered for reads (errors/hangups still surface — poll
       // reports POLLERR/POLLHUP regardless of events). Inbound bytes pile
       // up in kernel socket buffers and TCP pushes back on the senders;
-      // the pool's head-of-line wake reopens reading once drain_verified()
-      // catches up. Re-checked every sweep, since the sweeps themselves
-      // are what amplify a read burst into the pool.
+      // the pool's wake reopens reading once drain_verified() catches up.
+      // The backlog counts frames already in the pool plus frames buffered
+      // for the next submit_batch, and is re-checked both every sweep and
+      // between sockets within a sweep (below) — a burst can overshoot the
+      // cap by at most one socket's buffered bytes, not a whole sweep.
       const bool rx_paused = verify_pool_ && cfg_.verify_backlog_max > 0 &&
-                             verify_pool_->in_flight() >= cfg_.verify_backlog_max;
+                             verify_backlog() >= cfg_.verify_backlog_max;
       pfds.clear();
       pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
       pfds.push_back(pollfd{listen_fd_, POLLIN, 0});
@@ -662,11 +774,28 @@ void TcpNode::run_loop() {
       for (std::size_t i = 2; i < pfds.size(); ++i) {
         if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) readable.push_back(pfds[i].fd);
       }
-      for (int fd : readable) handle_readable(fd);
+      for (int fd : readable) {
+        handle_readable(fd);
+        // Re-check the backlog after every socket, not just at sweep
+        // start: one sweep reads up to every peer's pending bytes, which
+        // could overshoot verify_backlog_max by a full burst before the
+        // next sweep's rx_paused check. Remaining sockets keep their
+        // bytes in kernel buffers — TCP pushes back for us.
+        if (verify_pool_ && cfg_.verify_backlog_max > 0 &&
+            verify_backlog() >= cfg_.verify_backlog_max) {
+          break;
+        }
+      }
+      // Hand this sweep's burst to the pool as one job: one lock, one
+      // notify, regardless of how many frames the sweep produced.
+      flush_verify_batch();
     }
     sweep_half_open();
 
-    // Hand back frames the verification workers finished, in order.
+    // Hand back frames the verification workers finished, per-sender in
+    // submission order. (Flush again first: the sweep loop's fatal-error
+    // path can exit with frames still buffered.)
+    flush_verify_batch();
     drain_verified();
 
     executor_.run_due();
@@ -676,7 +805,21 @@ void TcpNode::run_loop() {
     // peer flushes it.
     flush_writes();
   }
-  verify_pool_.reset();  // joins workers; frames still in flight are dropped
+  if (verify_pool_) {
+    // Join the workers; frames still in the pool (or buffered for it) at
+    // stop can never be delivered — count them instead of dropping
+    // silently. The loss is benign (equivalent to frames racing the
+    // connection teardown) but should be visible in the stats ledger.
+    // The pool object itself stays alive: the registry may hold attached
+    // pointers into its histograms.
+    const std::size_t dropped = verify_pool_->shutdown() + pending_batch_.size();
+    pending_batch_.clear();
+    if (dropped > 0) {
+      network_->stats().verify_dropped_at_stop += dropped;
+      LOG_WARN("node %u: verify pool stopped with %zu frames undelivered",
+               static_cast<unsigned>(cfg_.id), dropped);
+    }
+  }
 }
 
 void TcpNode::flush_writes() {

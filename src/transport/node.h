@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "core/replica.h"
+#include "obs/metrics.h"
 #include "sim/executor.h"
 #include "smr/messages.h"
 
@@ -142,20 +143,50 @@ class SendQueue {
   std::size_t queued_bytes_ = 0;
 };
 
-/// Off-thread frame verification for the TCP data path. Workers decode
-/// each inbound frame and check its envelope signature; the node thread
-/// collects results strictly in submission order and seeds the replica's
+/// Off-thread frame verification for the TCP data path, batched and
+/// sharded by sender. Workers decode inbound frames and check envelope
+/// signatures against the wire bytes; the node thread seeds the replica's
 /// decode cache before delivering, so the single protocol thread pays
-/// neither the parse nor the signature check for verified frames. Purely
-/// an optimization: frames are delivered in the exact order received
-/// (whether or not they verified — the replica re-derives and logs
-/// failures itself), so protocol behaviour is byte-for-byte unchanged.
-/// The simulator never uses this; it stays single-threaded/deterministic.
-/// The pool itself does not bound its queues: the node's poll loop stops
-/// reading peer sockets once in_flight() reaches
-/// NodeConfig::verify_backlog_max, so TCP backpressure caps the backlog.
+/// neither the parse nor the signature check for verified frames.
+///
+/// The first incarnation of this pool handed over one frame at a time
+/// (one lock + one futex notify per submit, one wake-pipe write per
+/// head-of-line completion) and delivered in *global* FIFO order — under
+/// multicast load the per-frame synchronization cost more than the two
+/// SHA-256s it offloaded, and the trickle of single-frame deliveries
+/// defeated the read-drain/writev batching downstream (BENCH_pr3.json:
+/// enabling the pool LOWERED throughput). The redesign (DESIGN.md §11):
+///
+///  * submit_batch() hands a whole read-sweep burst over as one job —
+///    one lock, one notify; workers chain-notify while work remains.
+///  * Workers pull chunks of up to kChunkFrames and verify them outside
+///    the lock, amortizing the handoff across the chunk.
+///  * Ordering is per-sender, not global: each sender's frames come back
+///    in submission order (matching TCP's per-connection FIFO — cross-
+///    sender order was never guaranteed by the network), so one slow
+///    frame from peer A cannot head-of-line-block verified frames from
+///    B..G.
+///  * At most one wake-pipe write per drain cycle (wake_pending_ latch),
+///    so responses re-enter the per-peer writev batcher in bursts.
+///
+/// Delivery remains unconditional (the replica re-derives and logs
+/// failures itself), so protocol behaviour is unchanged. The simulator
+/// never uses this; it stays single-threaded/deterministic. The pool
+/// itself does not bound its queues: the node's poll loop stops reading
+/// peer sockets once in_flight() reaches NodeConfig::verify_backlog_max,
+/// so TCP backpressure caps the backlog.
 class VerifyPool {
  public:
+  /// One inbound frame. `key`/`has_key` carry a content hash the node
+  /// thread already computed while probing for a decode-cache bypass, so
+  /// the worker does not hash twice.
+  struct Item {
+    ReplicaId from = 0;
+    Bytes payload;
+    crypto::Digest key{};
+    bool has_key = false;
+  };
+
   struct Result {
     ReplicaId from = 0;
     Bytes payload;
@@ -164,9 +195,12 @@ class VerifyPool {
     bool sig_ok = false;
   };
 
-  /// `wake` is invoked from worker threads whenever the next in-order
-  /// result becomes ready (it must be async-signal-ish safe: the node
-  /// writes a byte to its wake pipe).
+  /// Frames a worker claims per lock acquisition.
+  static constexpr std::size_t kChunkFrames = 16;
+
+  /// `wake` is invoked from a worker thread when results became drainable
+  /// and no wake is already pending (it must be async-signal-ish safe:
+  /// the node writes a byte to its wake pipe).
   VerifyPool(std::shared_ptr<const crypto::CryptoSystem> crypto, std::size_t threads,
              std::function<void()> wake);
   ~VerifyPool();
@@ -174,21 +208,43 @@ class VerifyPool {
   VerifyPool(const VerifyPool&) = delete;
   VerifyPool& operator=(const VerifyPool&) = delete;
 
-  /// Enqueue one frame for verification (node thread only).
+  /// Hand one read-sweep burst to the pool: one lock, one notify
+  /// (node thread only). Empty batches are no-ops.
+  void submit_batch(std::vector<Item> batch);
+
+  /// Single-frame convenience over submit_batch (tests, odd frames).
   void submit(ReplicaId from, Bytes payload);
 
-  /// All results whose predecessors have also completed, in submission
-  /// order (node thread only). Results still in flight stay queued.
+  /// All completed results whose same-sender predecessors have also
+  /// completed — per-sender submission order, whole runs per sender
+  /// (node thread only). Results still in flight stay queued.
   std::vector<Result> drain_ready();
 
-  /// Frames submitted but not yet drained.
-  std::size_t in_flight() const;
+  /// Frames submitted but not yet drained (lock-free).
+  std::size_t in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
+
+  /// Stop workers and join. Returns the number of frames submitted but
+  /// never drained — frames that will now never be delivered. Idempotent;
+  /// the destructor calls it too (discarding the count).
+  std::size_t shutdown();
+
+  /// Batch sizes seen by submit_batch (frames per handoff).
+  const obs::Histogram& batch_size_hist() const { return batch_size_; }
+  /// submit_batch -> drain_ready latency per frame, microseconds.
+  const obs::Histogram& handoff_latency_hist() const { return handoff_us_; }
 
  private:
-  struct Job {
-    std::uint64_t seq = 0;
-    ReplicaId from = 0;
-    Bytes payload;
+  struct Slot {
+    Result r;
+    std::uint64_t submitted_tick_us = 0;  ///< steady-clock at submit
+    bool has_key = false;
+    bool done = false;
+  };
+  /// Per-sender delivery queue; front = oldest undelivered frame. deque
+  /// keeps references to non-front slots stable across push/pop, so
+  /// workers may hold Slot* while the node drains completed heads.
+  struct Shard {
+    std::deque<Slot> slots;
   };
 
   void worker_loop();
@@ -198,11 +254,15 @@ class VerifyPool {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Job> jobs_;
-  std::map<std::uint64_t, Result> done_;  // completed, awaiting in-order drain
-  std::uint64_t next_seq_ = 0;            // next submission sequence
-  std::uint64_t next_deliver_ = 0;        // next sequence to hand back
+  std::deque<Slot*> jobs_;             // pending verification work, submit order
+  std::map<ReplicaId, Shard> shards_;  // per-sender in-order delivery queues
   bool stop_ = false;
+  std::atomic<std::size_t> in_flight_{0};
+  /// Set by the worker that makes new results drainable; cleared by
+  /// drain_ready. Collapses wake-pipe writes to one per drain cycle.
+  std::atomic<bool> wake_pending_{false};
+  obs::Histogram batch_size_;
+  obs::Histogram handoff_us_;
   std::vector<std::thread> workers_;
 };
 
@@ -237,8 +297,8 @@ struct NodeConfig {
   /// are submitted but not yet delivered, the poll loop stops registering
   /// peer sockets for reads until the backlog drains — kernel socket
   /// buffers absorb the flow and TCP pushes back on senders, so peers
-  /// producing frames faster than the workers verify them cannot grow
-  /// jobs_/done_ without bound. 0 = unbounded (not recommended).
+  /// producing frames faster than the workers verify them cannot grow the
+  /// pool's queues without bound. 0 = unbounded (not recommended).
   std::size_t verify_backlog_max = 256;
   /// Optional metrics registry: the node attaches its NetStats and
   /// ReplicaStats counters once the replica exists on the node thread
@@ -301,9 +361,20 @@ class TcpNode {
   /// Max no-progress stall before teardown, microseconds (see NodeConfig).
   SimTime write_budget_us() const;
 
-  /// Deliver in-order verified frames from the pool: seed the decode
-  /// cache for frames that passed, then hand every frame to the replica.
+  /// Submit the frames buffered by on_frame during the current read
+  /// sweep to the pool as one batch (one lock, one notify).
+  void flush_verify_batch();
+
+  /// Deliver per-sender-in-order verified frames from the pool: seed the
+  /// decode cache for frames that passed, then hand every frame to the
+  /// replica (keyed, so the node thread never re-hashes the payload).
   void drain_verified();
+
+  /// Frames the pool owes us plus frames buffered for the next
+  /// submit_batch — what verify_backlog_max bounds.
+  std::size_t verify_backlog() const {
+    return (verify_pool_ ? verify_pool_->in_flight() : 0) + pending_batch_.size();
+  }
 
   NodeConfig cfg_;
   ReplicaFactory factory_;
@@ -312,6 +383,14 @@ class TcpNode {
   std::unique_ptr<core::IReplica> replica_;
   std::shared_ptr<smr::DecodeCache> decode_cache_;
   std::unique_ptr<VerifyPool> verify_pool_;
+  /// Frames accumulated by on_frame during the current read sweep,
+  /// submitted as one batch per sweep (node thread only).
+  std::vector<VerifyPool::Item> pending_batch_;
+  /// Per-sender frames in pending_batch_ or in the pool, not yet
+  /// delivered — the decode-cache bypass may only skip the pool when its
+  /// sender has nothing in flight, or frames would reorder within the
+  /// sender's channel. Indexed by ReplicaId.
+  std::vector<std::uint32_t> verify_pending_by_sender_;
 
   std::thread thread_;
   std::atomic<bool> stop_flag_{false};

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""CI gate for the verify-pool throughput fix.
+
+Reads a bench NDJSON file (BENCH_pr6.json) and asserts that on the
+multicast-load rows (tcp_cluster_multicast_load, the O(n^2) always-
+fallback storm at n=7) the batched off-thread verification path with
+verify_threads=2 is no slower than inline verification (verify_threads=0),
+modulo a slack factor for shared-runner noise.
+
+The regression this guards: the first VerifyPool paid more in per-frame
+handoff synchronization than the two SHA-256s it offloaded, so enabling
+it LOWERED blocks/s. The batched, sender-sharded redesign must at least
+break even here (and wins outright on multi-core hardware).
+
+Usage: check_verify_gate.py BENCH_pr6.json [slack]
+  slack: vt2 must be >= slack * vt0 (default 0.9, i.e. 10% slack).
+"""
+import json
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr6.json"
+    slack = float(sys.argv[2]) if len(sys.argv) > 2 else 0.9
+
+    # Last row per verify_threads value wins (the file accumulates across
+    # CI runs of several benches; the freshest numbers are the ones that
+    # belong to this run).
+    by_vt = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("bench") != "tcp_cluster_multicast_load":
+                continue
+            by_vt[int(row["verify_threads"])] = float(row["blocks_per_sec"])
+
+    if 0 not in by_vt or 2 not in by_vt:
+        print(f"gate: missing multicast-load rows (have vt={sorted(by_vt)}) in {path}")
+        return 1
+
+    vt0, vt2 = by_vt[0], by_vt[2]
+    floor = slack * vt0
+    verdict = "PASS" if vt2 >= floor else "FAIL"
+    print(
+        f"gate: multicast-load blocks/s: vt0={vt0:.0f} vt2={vt2:.0f} "
+        f"(floor {slack:.2f}*vt0={floor:.0f}) -> {verdict}"
+    )
+    if vt2 < floor:
+        print("gate: off-thread verification is slower than inline again — "
+              "the pool handoff has regressed")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
