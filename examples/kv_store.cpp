@@ -119,7 +119,7 @@ int main() {
   for (ReplicaId id = 0; id < kN; ++id) {
     exp.replica(id).ledger().set_commit_callback(
         [&machines, id](const smr::Block& block, SimTime) {
-          machines[id].apply(block.payload);
+          machines[id].apply(block.txns());
         });
   }
   exp.start();
@@ -143,7 +143,7 @@ int main() {
     const auto& base = dynamic_cast<const core::ReplicaBase&>(exp.replica(id));
     const auto& recs = exp.replica(id).ledger().records();
     for (std::size_t i = 0; i < min_applied && i < recs.size(); ++i) {
-      prefix[id].apply(base.store().get(recs[i].id)->payload);
+      prefix[id].apply(base.store().get(recs[i].id)->txns());
     }
   }
   bool identical = true;

@@ -139,11 +139,11 @@ void ClientSwarm::arm_retry(const TxnId& id) {
 }
 
 void ClientSwarm::on_commit(ReplicaId replica, const smr::Block& block) {
-  const std::vector<TxnId> ids = TxnPools::decode_txn_ids(block.payload);
+  const std::vector<TxnId> ids = TxnPools::decode_txn_ids(block.txns());
   if (ids.empty()) return;
   // The replica commits to the batch with a Merkle tree and attaches an
   // inclusion proof to each acknowledgment.
-  const crypto::MerkleTree tree(TxnPools::decode_txn_payloads(block.payload));
+  const crypto::MerkleTree tree(TxnPools::decode_txn_payloads(block.txns()));
   for (std::uint32_t i = 0; i < ids.size(); ++i) {
     const TxnId id = ids[i];
     const crypto::Digest root = tree.root();

@@ -34,6 +34,38 @@ struct ProtocolConfig {
   /// benches use 0 so counted bytes are pure protocol overhead).
   std::size_t batch_bytes = 0;
 
+  /// Adaptive batch sizing ceiling. 0 disables adaptation: every batch is
+  /// exactly batch_bytes. When > batch_bytes, the mempool grows the batch
+  /// toward this cap while its backlog outpaces sealing, and shrinks back
+  /// toward batch_bytes as in-flight rounds pile up (DESIGN.md §12.3).
+  std::size_t batch_bytes_max = 0;
+
+  /// Pipelined proposal path (DESIGN.md §12): blocks may carry a 32-byte
+  /// batch reference instead of the payload, with the batch disseminated
+  /// out of band. Certificates and vote rules are untouched; a replica
+  /// just defers its vote until the reference resolves. Off = every block
+  /// inlines its payload (differential determinism pin covers both).
+  bool batch_refs = true;
+
+  /// Only reference batches larger than this; smaller payloads (and the
+  /// empty batches of complexity benches) ship inline, since a 32-byte
+  /// digest plus an announcement round-trip costs more than it saves.
+  std::size_t batch_ref_min_bytes = 256;
+
+  /// Upcoming leader multicasts its sealed batch while still waiting for
+  /// the previous round's QC (the optimistic pre-broadcast). Off forces
+  /// every reference through the pull path — used by liveness tests.
+  bool batch_announce = true;
+
+  /// Byte bound on the per-replica content-addressed batch cache.
+  std::size_t batch_store_bytes = 64u << 20;
+
+  /// Retry cadence for pulling a missing batch, and how many replicas to
+  /// try (rotating from the proposer) before counting a pull timeout and
+  /// leaving recovery to the round timer / fallback.
+  SimTime batch_pull_timeout_us = 50'000;
+  std::uint32_t batch_pull_retries = 10;
+
   /// Paper §3.1 "Rules for Leader Rotation": the same leader serves this
   /// many consecutive rounds (4 in the paper — long enough to build a
   /// 3-chain and hand over).

@@ -98,8 +98,10 @@ void DiemBftReplica::maybe_propose() {
     return;
   }
 
+  // Pipelined payload (DESIGN.md §12): pre-announced batch or a fresh one.
+  PayloadChoice pc = take_payload();
   smr::Block block = smr::Block::make(qc_high(), r_cur_, /*view=*/0, /*height=*/0, id(),
-                                      next_payload());
+                                      std::move(pc.payload), pc.kind);
   store_block(block, id());
   note_block_born(block.id);
   smr::ProposalMsg msg;
@@ -152,11 +154,20 @@ void DiemBftReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
   // "Upon receiving the first valid proposal from L_r, execute Lock."
   lock_step(parent, from);
 
+  if (const smr::Block* stored = store().get(id_of_block)) try_vote(*stored);
+}
+
+void DiemBftReplica::try_vote(const smr::Block& block) {
   // Vote rule: r == r_cur, v == v_cur, r > r_vote, qc.rank >= rank_lock
   // (and we have not timed out this round).
+  const Round r = block.round;
+  if (block.height != 0 || block.view != 0) return;
   if (r != r_cur_ || r <= r_vote_ || timed_out_cur_round_) return;
-  if (parent.rank(false) < rank_lock()) return;
-  if (!externally_valid(store().get(id_of_block)->payload)) return;
+  if (block.parent.rank(false) < rank_lock()) return;
+  // Batch-reference blocks: defer the vote until the payload resolves
+  // (store_block started the pull); on_batch_resolved retries this rule.
+  if (!block.payload_resolved()) return;
+  if (!externally_valid(block.txns())) return;
   if (fault().withholds_votes()) return;
 
   r_vote_ = r;
@@ -164,12 +175,20 @@ void DiemBftReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
   ++stats_.votes_sent;
   trace(obs::EventKind::kVoteSent, 0, r);
   smr::VoteMsg vote;
-  vote.block_id = id_of_block;
+  vote.block_id = block.id;
   vote.round = r;
   vote.view = 0;
   vote.share = maybe_corrupt(crypto_sys().quorum_sigs.sign_share(
-      id(), smr::cert_signing_message(smr::CertKind::kQuorum, id_of_block, r, 0, 0, 0)));
+      id(), smr::cert_signing_message(smr::CertKind::kQuorum, block.id, r, 0, 0, 0)));
   send(leader_of(r + 1), std::move(vote));
+
+  // Pipelining: round r's QC is forming at L_{r+1}; announce our next
+  // batch now if that is us.
+  maybe_announce_batch(r + 1);
+}
+
+void DiemBftReplica::on_batch_resolved(const smr::Block& block, ReplicaId) {
+  try_vote(block);
 }
 
 void DiemBftReplica::handle_vote(ReplicaId from, const smr::VoteMsg& msg) {

@@ -24,6 +24,7 @@ class DiemBftReplica final : public ReplicaBase {
  protected:
   std::uint32_t commit_len() const override { return 3; }
   void handle_message(ReplicaId from, smr::Message&& msg) override;
+  void on_batch_resolved(const smr::Block& block, ReplicaId from) override;
 
   void encode_extra_state(Encoder& enc) const override { enc.u64(last_proposed_round_); }
   bool restore_extra_state(Decoder& dec) override {
@@ -46,6 +47,9 @@ class DiemBftReplica final : public ReplicaBase {
   void spam_timeouts();
 
   void handle_proposal(ReplicaId from, smr::ProposalMsg&& msg);
+  /// The vote rule on a stored block; also the retry point for votes
+  /// deferred on an unresolved batch reference.
+  void try_vote(const smr::Block& block);
   void handle_vote(ReplicaId from, const smr::VoteMsg& msg);
   void handle_timeout(ReplicaId from, const smr::DiemTimeoutMsg& msg);
   void handle_tc(const smr::TimeoutCert& tc);

@@ -170,8 +170,12 @@ void FallbackReplica::maybe_propose_steady() {
     return;
   }
 
+  // Pipelined payload (DESIGN.md §12): consume the batch pre-announced
+  // while the previous round's QC was forming, or seal one now. Large
+  // batches ride as a 32-byte reference; the bytes travel out of band.
+  PayloadChoice pc = take_payload();
   smr::Block block = smr::Block::make(qc_high(), r_cur_, v_cur_, /*height=*/0, id(),
-                                      next_payload());
+                                      std::move(pc.payload), pc.kind);
   store_block(block, id());
   note_block_born(block.id);
   smr::ProposalMsg msg;
@@ -210,14 +214,27 @@ void FallbackReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
 
   lock_full(parent, from);
 
+  if (const smr::Block* stored = store().get(block_id)) try_vote_steady(*stored);
+}
+
+void FallbackReplica::try_vote_steady(const smr::Block& block) {
   // Fig 2 vote rule: not in fallback, r == r_cur, v == v_cur, r > r_vote,
   // qc.rank >= rank_lock, and r == qc.r + 1 (plus: we have not timed out
   // in this round).
+  const Round r = block.round;
+  const View v = block.view;
+  if (block.height != 0) return;
   if (fallback_mode_ || timed_out_cur_round_) return;
   if (r != r_cur_ || v != v_cur_ || r <= r_vote_) return;
-  if (rank_of(parent) < rank_lock()) return;
-  if (r != parent.round + 1) return;
-  if (!externally_valid(store().get(block_id)->payload)) return;
+  if (rank_of(block.parent) < rank_lock()) return;
+  if (r != block.parent.round + 1) return;
+  // Batch-reference blocks: the vote waits for the payload — external
+  // validity is a predicate on the transactions, and a replica must never
+  // endorse bytes it has not seen. store_block already started the pull;
+  // on_batch_resolved retries this exact rule (by then r_cur may have
+  // moved on, in which case the checks above correctly yield no vote).
+  if (!block.payload_resolved()) return;
+  if (!externally_valid(block.txns())) return;
   if (fault().withholds_votes()) return;
 
   r_vote_ = r;
@@ -225,12 +242,20 @@ void FallbackReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
   ++stats_.votes_sent;
   trace(obs::EventKind::kVoteSent, v, r);
   smr::VoteMsg vote;
-  vote.block_id = block_id;
+  vote.block_id = block.id;
   vote.round = r;
   vote.view = v;
   vote.share = maybe_corrupt(crypto_sys().quorum_sigs.sign_share(
-      id(), smr::cert_signing_message(smr::CertKind::kQuorum, block_id, r, v, 0, 0)));
+      id(), smr::cert_signing_message(smr::CertKind::kQuorum, block.id, r, v, 0, 0)));
   send(leader_of(r + 1), std::move(vote));
+
+  // Pipelining: round r's QC is now forming at L_{r+1}; if that is us,
+  // push the next batch onto the wire while we wait for it.
+  maybe_announce_batch(r + 1);
+}
+
+void FallbackReplica::on_batch_resolved(const smr::Block& block, ReplicaId) {
+  if (!fb_.always_fallback) try_vote_steady(block);
 }
 
 void FallbackReplica::handle_vote(ReplicaId from, const smr::VoteMsg& msg) {
@@ -389,6 +414,10 @@ void FallbackReplica::propose_fblock(FallbackHeight height, const smr::Certifica
 void FallbackReplica::handle_fb_proposal(ReplicaId from, smr::FbProposalMsg&& msg) {
   smr::Block& block = msg.block;
   if (!block.id_consistent()) return;
+  // F-blocks always inline their payload: the fallback runs precisely
+  // when the network is bad, so its liveness must not hinge on a second
+  // dissemination round-trip. A reference here is a protocol violation.
+  if (block.is_batch_ref()) return;
   if (block.height < 1 || block.height > fb_.chain_len) return;
   if (block.proposer != from) return;
   if (!cached_verify(block.parent)) return;

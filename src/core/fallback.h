@@ -56,6 +56,7 @@ class FallbackReplica final : public ReplicaBase {
  protected:
   std::uint32_t commit_len() const override { return fb_.chain_len; }
   void handle_message(ReplicaId from, smr::Message&& msg) override;
+  void on_batch_resolved(const smr::Block& block, ReplicaId from) override;
   void encode_extra_state(Encoder& enc) const override;
   bool restore_extra_state(Decoder& dec) override;
 
@@ -63,6 +64,9 @@ class FallbackReplica final : public ReplicaBase {
   // ---- steady state ----------------------------------------------------
   void maybe_propose_steady();
   void handle_proposal(ReplicaId from, smr::ProposalMsg&& msg);
+  /// The Fig 2 vote rule on a stored block; also the retry point for
+  /// votes deferred on an unresolved batch reference.
+  void try_vote_steady(const smr::Block& block);
   void handle_vote(ReplicaId from, const smr::VoteMsg& msg);
 
   /// Full Lock step (Fig 1 Lock with Fig 2's Advance Round): applies only

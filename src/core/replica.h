@@ -110,6 +110,16 @@ struct ReplicaStats {
   obs::Counter combines_optimistic;
   obs::Counter combine_fallbacks;
   obs::Counter bad_shares_rejected;
+  /// Pipelined proposal path (DESIGN.md §12): batches this replica sealed
+  /// as (upcoming) leader, optimistic pre-broadcasts sent, pulls issued
+  /// for missing batches, pulls that exhausted their retry budget, and
+  /// reference resolutions that hit / missed the local BatchStore.
+  obs::Counter batches_sealed;
+  obs::Counter batches_announced;
+  obs::Counter batches_pulled;
+  obs::Counter batch_pull_timeouts;
+  obs::Counter batch_ref_hits;
+  obs::Counter batch_ref_misses;
 };
 
 /// Walk every ReplicaStats counter with its stable metric name. Single
@@ -134,6 +144,12 @@ void for_each_counter(const ReplicaStats& s, Fn&& fn) {
   fn("repro_combines_optimistic_total", &s.combines_optimistic);
   fn("repro_combine_fallbacks_total", &s.combine_fallbacks);
   fn("repro_bad_shares_rejected_total", &s.bad_shares_rejected);
+  fn("repro_batches_sealed_total", &s.batches_sealed);
+  fn("repro_batches_announced_total", &s.batches_announced);
+  fn("repro_batches_pulled_total", &s.batches_pulled);
+  fn("repro_batch_pull_timeouts_total", &s.batch_pull_timeouts);
+  fn("repro_batch_ref_hits_total", &s.batch_ref_hits);
+  fn("repro_batch_ref_misses_total", &s.batch_ref_misses);
 }
 
 /// Attach every counter of `s` to `reg` under a replica="<id>" label.
@@ -164,6 +180,15 @@ class IReplica {
   virtual void on_message_keyed(ReplicaId from, const Bytes& payload,
                                 const crypto::Digest& key) {
     (void)key;
+    on_message(from, payload);
+  }
+
+  /// Deliver a payload that can never be a decode-cache hit: TCP peer
+  /// frames arrive exactly once per connection, so hashing them to probe
+  /// the cache (and inserting the decoded form nobody will look up again)
+  /// is pure overhead on the protocol thread. Implementations decode and
+  /// verify directly. Default: fall back to the cached path.
+  virtual void on_message_uncached(ReplicaId from, const Bytes& payload) {
     on_message(from, payload);
   }
 

@@ -22,7 +22,8 @@ ReplicaBase::ReplicaBase(const ReplicaContext& ctx)
       vcache_(ctx.config.cert_cache_capacity),
       dcache_(ctx.decode_cache
                   ? ctx.decode_cache
-                  : std::make_shared<smr::DecodeCache>(ctx.config.decode_cache_capacity)) {
+                  : std::make_shared<smr::DecodeCache>(ctx.config.decode_cache_capacity)),
+      batch_store_(ctx.config.batch_store_bytes) {
   REPRO_ASSERT(sim_ != nullptr && net_ != nullptr && crypto_ != nullptr);
   qc_high_ = smr::genesis_certificate();
 }
@@ -145,8 +146,45 @@ void ReplicaBase::on_message_keyed(ReplicaId from, const Bytes& payload,
     dcache_->note_sender_verified(key, from);
   }
 
+  deliver(from, std::move(*msg));
+}
+
+void ReplicaBase::on_message_uncached(ReplicaId from, const Bytes& payload) {
+  if (halted_ || cfg_.fault.crashed()) return;
+  auto msg = smr::decode_message(payload);
+  ++stats_.decode_misses;  // a real parse ran, same as a cache miss
+  if (!msg) {
+    LOG_WARN("replica %u: dropping malformed message from %u", id_, from);
+    return;
+  }
+  if (!smr::verify_message_signature_wire(*crypto_, from, *msg, payload)) {
+    LOG_WARN("replica %u: bad signature on message from %u", id_, from);
+    return;
+  }
+  deliver(from, std::move(*msg));
+}
+
+void ReplicaBase::deliver(ReplicaId from, smr::Message&& msg) {
+  // Batch dissemination is protocol-independent; handle it here. All
+  // three carry self-authenticating content (the receiver re-derives the
+  // id from the bytes), so there is nothing protocol-specific to check.
+  if (auto* batch = std::get_if<smr::BatchMsg>(&msg)) {
+    accept_batch(std::move(batch->data), from);
+    return;
+  }
+  if (auto* pull = std::get_if<smr::BatchPullMsg>(&msg)) {
+    if (const Bytes* data = batch_store_.get(pull->batch_id)) {
+      send(from, smr::BatchPushMsg{*data});
+    }
+    return;
+  }
+  if (auto* push = std::get_if<smr::BatchPushMsg>(&msg)) {
+    accept_batch(std::move(push->data), from);
+    return;
+  }
+
   // Block retrieval is protocol-independent; handle it here.
-  if (auto* req = std::get_if<smr::BlockRequestMsg>(&*msg)) {
+  if (auto* req = std::get_if<smr::BlockRequestMsg>(&msg)) {
     const smr::Block* b = store_.get(req->block_id);
     if (b == nullptr) return;
     smr::BlockResponseMsg resp;
@@ -161,7 +199,7 @@ void ReplicaBase::on_message_keyed(ReplicaId from, const Bytes& payload,
     send(from, std::move(resp));
     return;
   }
-  if (auto* resp = std::get_if<smr::BlockResponseMsg>(&*msg)) {
+  if (auto* resp = std::get_if<smr::BlockResponseMsg>(&msg)) {
     if (resp->blocks.size() > smr::kMaxBlocksPerResponse) return;
     // Oldest first, so deferred work retries at most once per block.
     for (auto it = resp->blocks.rbegin(); it != resp->blocks.rend(); ++it) {
@@ -170,7 +208,7 @@ void ReplicaBase::on_message_keyed(ReplicaId from, const Bytes& payload,
     return;
   }
 
-  handle_message(from, std::move(*msg));
+  handle_message(from, std::move(msg));
 }
 
 SharedBytes ReplicaBase::encode_signed(smr::Message& msg) {
@@ -269,6 +307,7 @@ const smr::Block* ReplicaBase::store_block(smr::Block block, ReplicaId from) {
   const smr::BlockId id = block.id;
   if (!store_.insert(std::move(block))) return store_.get(id);
   outstanding_fetches_.erase(id);
+  try_resolve_block(id, from);
   const smr::Block* stored = store_.get(id);
   retry_deferred(id, from);
   on_block_stored(*stored, from);
@@ -276,6 +315,135 @@ const smr::Block* ReplicaBase::store_block(smr::Block block, ReplicaId from) {
 }
 
 void ReplicaBase::on_block_stored(const smr::Block&, ReplicaId) {}
+
+// ---- pipelined proposal path (DESIGN.md §12) ------------------------------
+
+void ReplicaBase::maybe_announce_batch(Round round) {
+  if (!cfg_.batch_refs || pending_batch_) return;
+  if (leader_of(round) != id_) return;
+  if (halted_ || cfg_.fault.crashed()) return;
+  smr::Batch batch = smr::Batch::seal(next_payload());
+  ++stats_.batches_sealed;
+  if (use_batch_ref(batch.data.size())) {
+    batch_store_.put(batch.id, batch.data);
+    if (cfg_.batch_announce && !cfg_.fault.mute()) {
+      ++stats_.batches_announced;
+      trace(obs::EventKind::kBatchAnnounced, v_cur_, round, 0, batch.data.size());
+      multicast(smr::BatchMsg{batch.data});
+    }
+  }
+  pending_batch_ = std::move(batch);
+}
+
+ReplicaBase::PayloadChoice ReplicaBase::take_payload() {
+  if (pending_batch_) {
+    smr::Batch batch = std::move(*pending_batch_);
+    pending_batch_.reset();
+    if (!use_batch_ref(batch.data.size())) {
+      return {std::move(batch.data), smr::kInlinePayload};
+    }
+    return {Bytes(batch.id.begin(), batch.id.end()), smr::kBatchRefPayload};
+  }
+  Bytes data = next_payload();
+  if (!use_batch_ref(data.size())) return {std::move(data), smr::kInlinePayload};
+  // No pre-announced batch (first proposal after rotation, or announce is
+  // off): seal and — per-link FIFO means it still lands before the
+  // proposal — announce on the spot.
+  smr::Batch batch = smr::Batch::seal(std::move(data));
+  ++stats_.batches_sealed;
+  batch_store_.put(batch.id, batch.data);
+  if (cfg_.batch_announce && !cfg_.fault.mute()) {
+    ++stats_.batches_announced;
+    trace(obs::EventKind::kBatchAnnounced, v_cur_, r_cur_, 0, batch.data.size());
+    multicast(smr::BatchMsg{batch.data});
+  }
+  return {Bytes(batch.id.begin(), batch.id.end()), smr::kBatchRefPayload};
+}
+
+void ReplicaBase::try_resolve_block(const smr::BlockId& id, ReplicaId hint) {
+  smr::Block* b = store_.get_mutable(id);
+  if (b == nullptr || !b->is_batch_ref() || b->payload_resolved()) return;
+  const smr::BatchId ref = b->batch_ref();
+  if (const Bytes* data = batch_store_.get(ref)) {
+    b->resolved_payload = *data;
+    ++stats_.batch_ref_hits;
+    trace(obs::EventKind::kBatchResolved, b->view, b->round);
+    return;
+  }
+  ++stats_.batch_ref_misses;
+  waiting_batch_[ref].push_back(id);
+  start_batch_pull(ref, hint);
+}
+
+void ReplicaBase::accept_batch(Bytes data, ReplicaId from) {
+  const smr::BatchId ref = smr::Batch::compute_id(data);
+  if (!batch_store_.contains(ref)) batch_store_.put(ref, std::move(data));
+  if (auto it = batch_pulls_.find(ref); it != batch_pulls_.end()) {
+    sim_->cancel(it->second.timer);
+    batch_pulls_.erase(it);
+  }
+  // A batch larger than the whole store bound can never be cached; its
+  // referencing blocks stay unresolved (the round times out — liveness
+  // comes from fallback, not from unbounded memory).
+  const Bytes* stored = batch_store_.get(ref);
+  if (stored == nullptr) return;
+  if (auto it = waiting_batch_.find(ref); it != waiting_batch_.end()) {
+    auto ids = std::move(it->second);
+    waiting_batch_.erase(it);
+    for (const auto& bid : ids) {
+      smr::Block* b = store_.get_mutable(bid);
+      if (b == nullptr || b->payload_resolved()) continue;
+      b->resolved_payload = *stored;
+      trace(obs::EventKind::kBatchResolved, b->view, b->round);
+      on_batch_resolved(*b, from);
+    }
+  }
+  if (auto it = waiting_commit_batch_.find(ref); it != waiting_commit_batch_.end()) {
+    auto certs = std::move(it->second);
+    waiting_commit_batch_.erase(it);
+    for (const auto& c : certs) try_commit_from(c, from);
+  }
+}
+
+void ReplicaBase::start_batch_pull(const smr::BatchId& ref, ReplicaId hint) {
+  if (batch_pulls_.count(ref) != 0) return;
+  batch_pulls_.emplace(ref, BatchPull{0, hint, sim::kInvalidEvent});
+  send_batch_pull(ref);
+}
+
+void ReplicaBase::send_batch_pull(const smr::BatchId& ref) {
+  auto it = batch_pulls_.find(ref);
+  if (it == batch_pulls_.end()) return;
+  BatchPull& st = it->second;
+  // Rotate through the replicas starting at the block's sender: the
+  // proposer certainly has the batch, but it may be the one replica that
+  // is unreachable — any replica that voted has it too.
+  ReplicaId target = (st.hint + st.attempts) % params_.n;
+  if (target == id_) target = (target + 1) % params_.n;
+  ++stats_.batches_pulled;
+  send(target, smr::BatchPullMsg{ref});
+  const smr::BatchId ref_copy = ref;
+  st.timer = sim_->schedule_after(cfg_.batch_pull_timeout_us,
+                                  [this, ref_copy] { on_batch_pull_timer(ref_copy); });
+}
+
+void ReplicaBase::on_batch_pull_timer(const smr::BatchId& ref) {
+  if (halted_ || cfg_.fault.crashed()) return;
+  auto it = batch_pulls_.find(ref);
+  if (it == batch_pulls_.end()) return;
+  if (batch_store_.contains(ref)) {
+    batch_pulls_.erase(it);
+    return;
+  }
+  if (++it->second.attempts > cfg_.batch_pull_retries) {
+    // Give up for now; the waiting_batch_ entries stay, so a late batch
+    // still resolves, and a commit attempt restarts the pull.
+    ++stats_.batch_pull_timeouts;
+    batch_pulls_.erase(it);
+    return;
+  }
+  send_batch_pull(ref);
+}
 
 void ReplicaBase::defer_commit(const smr::BlockId& missing, const smr::Certificate& cert) {
   auto& waiting = waiting_commit_[missing];
@@ -338,6 +506,30 @@ void ReplicaBase::try_commit_from(const smr::Certificate& cert, ReplicaId hint) 
     ensure_block(*missing, hint);
     return;
   }
+
+  // Batch-reference gating: every block about to commit must have its
+  // payload resolved — the ledger record and the application's commit
+  // callback need the transaction bytes, and the output must be
+  // byte-identical to inline mode. A replica that voted already resolved;
+  // this only stalls catch-up paths, which pull the batch like any miss.
+  for (const smr::Block* b = oldest;
+       b != nullptr && !b->is_genesis() && !ledger_.is_committed(b->id);
+       b = store_.get(b->parent.block_id)) {
+    if (b->payload_resolved()) continue;
+    const smr::BatchId ref = b->batch_ref();
+    auto& waiting = waiting_commit_batch_[ref];
+    bool queued = false;
+    for (const auto& c : waiting) {
+      if (c.block_id == cert.block_id) {
+        queued = true;
+        break;
+      }
+    }
+    if (!queued) waiting.push_back(cert);
+    start_batch_pull(ref, hint);
+    return;
+  }
+
   const std::size_t before = ledger_.size();
   const std::size_t n = ledger_.commit_chain(*oldest, store_, sim_->now());
   if (n > 0) {

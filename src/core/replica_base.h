@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/replica.h"
+#include "smr/batch.h"
 #include "smr/block_store.h"
 #include "smr/ledger.h"
 #include "smr/mempool.h"
@@ -69,6 +70,7 @@ class ReplicaBase : public IReplica {
   void on_message(ReplicaId from, const Bytes& payload) final;
   void on_message_keyed(ReplicaId from, const Bytes& payload,
                         const crypto::Digest& key) final;
+  void on_message_uncached(ReplicaId from, const Bytes& payload) final;
   void halt() final { halted_ = true; }
   ReplicaId id() const final { return id_; }
   const smr::Ledger& ledger() const final { return ledger_; }
@@ -94,6 +96,15 @@ class ReplicaBase : public IReplica {
   /// in simulations, private otherwise).
   const smr::DecodeCache& decode_cache() const { return *dcache_; }
 
+  /// The content-addressed batch cache (pipelined proposal path).
+  const smr::BatchStore& batch_store() const { return batch_store_; }
+
+  /// Model client ingress for adaptive batch sizing: `bytes` of
+  /// transactions queued at this replica's mempool (benches / harness
+  /// drive this; without calls the backlog stays 0 and adaptive sizing
+  /// keeps batches at the base size).
+  void offer_transactions(std::size_t bytes) { mempool_.offer(bytes); }
+
  protected:
   /// Commit-rule chain length: 3 for the paper's base protocols, 2 for
   /// the Figure-4 variant.
@@ -105,6 +116,16 @@ class ReplicaBase : public IReplica {
   /// Hook invoked whenever a previously missing block body arrives
   /// (via proposal or fetch); subclasses retry deferred decisions.
   virtual void on_block_stored(const smr::Block& block, ReplicaId from);
+
+  /// Hook invoked when a stored batch-reference block's payload resolves
+  /// *after* the block arrived (the referenced batch came in later via
+  /// announcement or pull). Subclasses retry the vote they deferred;
+  /// their steady-state vote rule re-checks round/view freshness, so a
+  /// late resolution simply yields no vote. Default: nothing.
+  virtual void on_batch_resolved(const smr::Block& block, ReplicaId from) {
+    (void)block;
+    (void)from;
+  }
 
   // Messaging ----------------------------------------------------------
   // Sign, serialize exactly once into a refcounted buffer, and hand the
@@ -279,6 +300,41 @@ class ReplicaBase : public IReplica {
     return !cfg_.external_validator || cfg_.external_validator(payload);
   }
 
+  // Pipelined proposal path (DESIGN.md §12) -------------------------------
+  /// Whether a payload of `size` bytes ships as a 32-byte batch reference
+  /// (the digest only pays off once the payload outweighs it).
+  bool use_batch_ref(std::size_t size) const {
+    return cfg_.batch_refs && size > cfg_.batch_ref_min_bytes;
+  }
+
+  /// Adaptive batch-size target (inert unless batch_bytes_max is set):
+  /// grows with mempool backlog, shrinks with rounds in flight beyond the
+  /// committed tip.
+  std::size_t adaptive_batch_target() {
+    if (cfg_.batch_bytes_max <= cfg_.batch_bytes) return cfg_.batch_bytes;
+    const Round tip = ledger_.records().empty() ? 0 : ledger_.records().back().round;
+    const std::uint64_t in_flight = r_cur_ > tip ? r_cur_ - tip : 0;
+    return mempool_.adaptive_target(cfg_.batch_bytes_max, in_flight);
+  }
+
+  /// Out-of-band pre-broadcast: if this replica leads `round` and has no
+  /// batch pending, seal the next mempool batch now and (when it is big
+  /// enough to reference) announce it to all replicas — while the QC the
+  /// actual proposal waits for is still forming. Subclasses call this the
+  /// moment they learn they lead an upcoming round.
+  void maybe_announce_batch(Round round);
+
+  /// The payload for the block this replica is about to propose: consumes
+  /// the pre-announced batch if one is pending, else seals (and, for
+  /// referenced batches, announces) a fresh one. Either way the j-th call
+  /// consumes the j-th mempool batch, so inline and reference modes order
+  /// identical transaction streams.
+  struct PayloadChoice {
+    Bytes payload;
+    std::uint8_t kind = smr::kInlinePayload;
+  };
+  PayloadChoice take_payload();
+
   // Durability ------------------------------------------------------------
   /// Append a full vote-state snapshot to the WAL (no-op without one).
   /// Called by the protocol immediately *before* any message that the
@@ -305,9 +361,26 @@ class ReplicaBase : public IReplica {
   ReplicaStats stats_;
 
  private:
+  /// Post-decode delivery tail shared by every receive path: centralized
+  /// block retrieval + batch dissemination, then the protocol's
+  /// handle_message.
+  void deliver(ReplicaId from, smr::Message&& msg);
   void try_commit_from(const smr::Certificate& cert, ReplicaId hint);
   void defer_commit(const smr::BlockId& missing, const smr::Certificate& cert);
   void retry_deferred(const smr::BlockId& id, ReplicaId from);
+
+  // Batch resolution / recovery (pipelined proposal path) -----------------
+  /// Attach the referenced batch to a freshly stored ref block, or
+  /// register it as waiting and start pulling. Called from store_block.
+  void try_resolve_block(const smr::BlockId& id, ReplicaId hint);
+  /// File received batch bytes under their own hash, then resolve every
+  /// block and commit waiting on them. Announcements, pushes and our own
+  /// seals all funnel here.
+  void accept_batch(Bytes data, ReplicaId from);
+  /// Begin (or restart, after an exhausted retry budget) pulling `ref`.
+  void start_batch_pull(const smr::BatchId& ref, ReplicaId hint);
+  void send_batch_pull(const smr::BatchId& ref);
+  void on_batch_pull_timer(const smr::BatchId& ref);
 
   sim::IExecutor* sim_;
   net::INetwork* net_;
@@ -332,6 +405,24 @@ class ReplicaBase : public IReplica {
 
   /// Sign + encode once; shared by send/multicast.
   SharedBytes encode_signed(smr::Message& msg);
+
+  // Pipelined proposal path state ----------------------------------------
+  smr::BatchStore batch_store_;
+  /// Batch sealed by maybe_announce_batch, awaiting its proposal.
+  std::optional<smr::Batch> pending_batch_;
+  /// Stored ref blocks whose batch has not arrived, by batch id. Entries
+  /// persist until the batch arrives (even past the pull retry budget), so
+  /// a late batch still resolves every waiter.
+  std::unordered_map<smr::BatchId, std::vector<smr::BlockId>, smr::BlockIdHash> waiting_batch_;
+  /// Commit scans stalled on an unresolved payload, by batch id.
+  std::unordered_map<smr::BatchId, std::vector<smr::Certificate>, smr::BlockIdHash>
+      waiting_commit_batch_;
+  struct BatchPull {
+    std::uint32_t attempts = 0;
+    ReplicaId hint = 0;  ///< first pull target (the block's sender)
+    sim::EventId timer = sim::kInvalidEvent;
+  };
+  std::unordered_map<smr::BatchId, BatchPull, smr::BlockIdHash> batch_pulls_;
 
   std::map<View, smr::CoinQC> coins_;
   std::unordered_set<smr::BlockId, smr::BlockIdHash> outstanding_fetches_;

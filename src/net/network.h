@@ -78,6 +78,11 @@ struct NetStats {
   obs::Counter verify_batches;
   obs::Counter verify_frames;
   obs::Counter verify_bypass_frames;
+  /// Frames routed inline by the adaptive bypass (measured per-frame
+  /// verify cost below the pool's round-trip latency — see
+  /// VerifyPool::prefers_inline), as opposed to the cache-hit bypass
+  /// counted above.
+  obs::Counter verify_inline_frames;
   obs::Counter verify_dropped_at_stop;
 
   NetStats operator-(const NetStats& o) const {
@@ -100,6 +105,7 @@ struct NetStats {
     d.verify_batches = verify_batches - o.verify_batches;
     d.verify_frames = verify_frames - o.verify_frames;
     d.verify_bypass_frames = verify_bypass_frames - o.verify_bypass_frames;
+    d.verify_inline_frames = verify_inline_frames - o.verify_inline_frames;
     d.verify_dropped_at_stop = verify_dropped_at_stop - o.verify_dropped_at_stop;
     return d;
   }
@@ -123,6 +129,7 @@ void for_each_counter(const NetStats& s, Fn&& fn) {
   fn("repro_verify_batches_total", &s.verify_batches);
   fn("repro_verify_frames_total", &s.verify_frames);
   fn("repro_verify_bypass_frames_total", &s.verify_bypass_frames);
+  fn("repro_verify_inline_frames_total", &s.verify_inline_frames);
   fn("repro_verify_dropped_at_stop_total", &s.verify_dropped_at_stop);
 }
 

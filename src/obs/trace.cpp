@@ -35,6 +35,8 @@ constexpr KindName kKindNames[] = {
     {EventKind::kChainAdopted, "chain_adopted"},
     {EventKind::kLeaderElected, "leader_elected"},
     {EventKind::kBlockCommitted, "block_committed"},
+    {EventKind::kBatchAnnounced, "batch_announced"},
+    {EventKind::kBatchResolved, "batch_resolved"},
 };
 
 std::uint64_t wall_now_us() {

@@ -36,6 +36,8 @@ enum class EventKind : std::uint8_t {
   kChainAdopted,
   kLeaderElected,
   kBlockCommitted,
+  kBatchAnnounced,  ///< out-of-band batch pre-broadcast sent (aux = bytes)
+  kBatchResolved,   ///< a batch-reference block's payload resolved locally
 };
 
 /// Stable wire name for an event kind (used in NDJSON `ev` field).

@@ -3,28 +3,38 @@
 namespace repro::smr {
 
 BlockId Block::compute_id(const Certificate& parent, Round round, View view,
-                          FallbackHeight height, ReplicaId proposer, BytesView payload) {
+                          FallbackHeight height, ReplicaId proposer, BytesView payload,
+                          std::uint8_t payload_kind) {
   Encoder enc;
   parent.encode(enc);
   enc.u64(round);
   enc.u64(view);
   enc.u32(height);
   enc.u32(proposer);
+  enc.u8(payload_kind);
   enc.bytes(payload);
   return crypto::sha256_tagged("repro/block", enc.result());
 }
 
 Block Block::make(const Certificate& parent, Round round, View view, FallbackHeight height,
-                  ReplicaId proposer, Bytes payload) {
+                  ReplicaId proposer, Bytes payload, std::uint8_t payload_kind) {
   Block b;
   b.parent = parent;
   b.round = round;
   b.view = view;
   b.height = height;
   b.proposer = proposer;
+  b.payload_kind = payload_kind;
   b.payload = std::move(payload);
-  b.id = compute_id(b.parent, b.round, b.view, b.height, b.proposer, b.payload);
+  b.id = compute_id(b.parent, b.round, b.view, b.height, b.proposer, b.payload,
+                    b.payload_kind);
   return b;
+}
+
+BatchId Block::batch_ref() const {
+  BatchId out{};
+  if (payload.size() == out.size()) std::copy(payload.begin(), payload.end(), out.begin());
+  return out;
 }
 
 const Block& Block::genesis() {
@@ -43,7 +53,9 @@ const Block& Block::genesis() {
 
 bool Block::id_consistent() const {
   if (is_genesis()) return *this == genesis();
-  return id == compute_id(parent, round, view, height, proposer, payload);
+  if (payload_kind == kBatchRefPayload && payload.size() != 32) return false;
+  if (payload_kind > kBatchRefPayload) return false;
+  return id == compute_id(parent, round, view, height, proposer, payload, payload_kind);
 }
 
 void Block::encode(Encoder& enc) const {
@@ -53,6 +65,7 @@ void Block::encode(Encoder& enc) const {
   enc.u64(view);
   enc.u32(height);
   enc.u32(proposer);
+  enc.u8(payload_kind);
   enc.bytes(payload);
 }
 
@@ -64,8 +77,11 @@ std::optional<Block> Block::decode(Decoder& dec) {
   auto view = dec.u64();
   auto height = dec.u32();
   auto proposer = dec.u32();
+  auto payload_kind = dec.u8();
   auto payload = dec.bytes();
-  if (!parent || !round || !view || !height || !proposer || !payload) return std::nullopt;
+  if (!parent || !round || !view || !height || !proposer || !payload_kind || !payload) {
+    return std::nullopt;
+  }
   Block b;
   std::copy(id->begin(), id->end(), b.id.begin());
   b.parent = *parent;
@@ -73,6 +89,7 @@ std::optional<Block> Block::decode(Decoder& dec) {
   b.view = *view;
   b.height = *height;
   b.proposer = *proposer;
+  b.payload_kind = *payload_kind;
   b.payload = std::move(*payload);
   return b;
 }

@@ -174,13 +174,21 @@ std::vector<VerifyPool::Result> VerifyPool::drain_ready() {
       while (!shard.slots.empty() && shard.slots.front().done) {
         Slot& s = shard.slots.front();
         if (now_us == 0) now_us = steady_tick_us();
-        handoff_us_.observe(now_us - s.submitted_tick_us);
+        const std::uint64_t lat_us = now_us - s.submitted_tick_us;
+        handoff_us_.observe(lat_us);
+        // Adaptive-bypass cost model: per-frame pool round trip, EWMA with
+        // alpha = 1/8 (node thread only; relaxed is fine).
+        const std::uint64_t old = handoff_ns_ewma_.load(std::memory_order_relaxed);
+        const std::uint64_t lat_ns = lat_us * 1000;
+        const std::uint64_t next = old == 0 ? lat_ns : old - old / 8 + lat_ns / 8;
+        handoff_ns_ewma_.store(next, std::memory_order_relaxed);
         out.push_back(std::move(s.r));
         shard.slots.pop_front();
       }
     }
   }
   in_flight_.fetch_sub(out.size(), std::memory_order_relaxed);
+  handoff_frames_measured_.fetch_add(out.size(), std::memory_order_relaxed);
   return out;
 }
 
@@ -201,12 +209,27 @@ void VerifyPool::worker_loop() {
     // Verify the whole chunk outside the lock: one handoff round for up
     // to kChunkFrames frames. The envelope check runs against the wire
     // bytes in hand (signed prefix of the payload) — no re-encode.
+    const auto chunk_start = std::chrono::steady_clock::now();
     for (Slot* s : chunk) {
       Result& r = s->r;
       if (!s->has_key) r.key = smr::DecodeCache::key_of(r.payload);
       r.msg = smr::decode_message(r.payload);
       r.sig_ok =
           r.msg && smr::verify_message_signature_wire(*crypto_, r.from, *r.msg, r.payload);
+    }
+    if (!chunk.empty()) {
+      // Feed the adaptive-bypass cost model: per-frame decode+verify time,
+      // EWMA with alpha = 1/8 (relaxed load/store — a lost race between
+      // workers costs one smoothing step, nothing more).
+      const std::uint64_t chunk_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - chunk_start)
+              .count());
+      const std::uint64_t per_frame = chunk_ns / chunk.size();
+      const std::uint64_t old = verify_ns_ewma_.load(std::memory_order_relaxed);
+      const std::uint64_t next = old == 0 ? per_frame : old - old / 8 + per_frame / 8;
+      verify_ns_ewma_.store(next, std::memory_order_relaxed);
+      verify_frames_measured_.fetch_add(chunk.size(), std::memory_order_relaxed);
     }
     bool drainable = false;
     {
@@ -331,10 +354,21 @@ void RealtimeExecutor::cancel(sim::EventId id) {
   if (callbacks_.count(id) != 0) cancelled_.insert(id);
 }
 
-SimTime RealtimeExecutor::next_deadline() const {
-  // Cancelled heads still wake the loop early — harmless, they are
-  // dropped in run_due().
-  return queue_.empty() ? kSimTimeNever : queue_.top().time;
+SimTime RealtimeExecutor::next_deadline() {
+  // Retire cancelled heads instead of reporting their stale deadlines:
+  // the round timer is cancelled and re-armed every round, so the heap
+  // head is routinely a dead entry whose time would cut the poll timeout
+  // short for nothing.
+  while (!queue_.empty()) {
+    const Entry& e = queue_.top();
+    if (cancelled_.erase(e.id) != 0) {
+      callbacks_.erase(e.id);
+      queue_.pop();
+      continue;
+    }
+    return e.time;
+  }
+  return kSimTimeNever;
 }
 
 std::size_t RealtimeExecutor::run_due() {
@@ -378,13 +412,11 @@ class TcpNode::TcpNetwork final : public net::INetwork {
     if (to == from) {
       stats_.self_messages += 1;
       stats_.self_bytes += payload->size();
-      // Self-delivery: queue on the executor like the simulator does. The
+      // Self-delivery: deferred like the simulator's loopback event, but
+      // via a plain queue the poll loop drains once per iteration — no
+      // executor heap entry or closure allocation per message. The
       // refcounted buffer rides along; no copy.
-      node_.executor_.schedule_at(
-          node_.executor_.now(),
-          [&node = node_, payload = std::move(payload)] {
-            if (node.replica_) node.replica_->on_message(node.cfg_.id, *payload);
-          });
+      node_.self_inbox_.push_back(std::move(payload));
       return;
     }
     auto fit = node_.fd_of_peer_.find(to);
@@ -522,6 +554,10 @@ SimTime TcpNode::write_budget_us() const {
 }
 
 void TcpNode::sweep_half_open() {
+  // Every identified conn holds exactly one fd_of_peer_ entry, so equal
+  // sizes mean no half-open connections — skip the scan (and the clock
+  // read) that every poll iteration would otherwise pay.
+  if (conns_.size() == fd_of_peer_.size()) return;
   const SimTime now = executor_.now();
   std::vector<int> expired;
   for (const auto& [fd, conn] : conns_) {
@@ -537,6 +573,21 @@ void TcpNode::on_frame(ReplicaId from, Bytes payload) {
     VerifyPool::Item item;
     item.from = from;
     if (verify_pending_by_sender_[from] == 0) {
+      // Adaptive bypass (DESIGN.md §12.4): when the measured per-frame
+      // verify cost sits below the pool's round-trip latency — the
+      // steady-state trickle of one small vote or proposal per wakeup,
+      // where the futex handoff dwarfs the two SHA-256s it offloads —
+      // deliver inline on the node thread. Only legal for an idle sender
+      // (same per-sender-FIFO argument as the cache bypass below). Every
+      // 256th eligible frame still goes through the pool as a probe so
+      // the handoff EWMA tracks the current regime; a multicast burst
+      // marks the sender busy, piles its frames into the pool via the
+      // ordering rule, and the refreshed EWMAs flip the route back.
+      if (verify_pool_->prefers_inline() && (++bypass_probe_ & 0xFFu) != 0) {
+        network_->stats().verify_inline_frames += 1;
+        if (replica_) replica_->on_message_uncached(from, payload);
+        return;
+      }
       // Idle sender: probe the decode cache. A hit with this sender
       // already marked verified makes delivery a pure cache lookup, so the
       // pool round-trip would be pure overhead — deliver inline. Safe for
@@ -558,7 +609,9 @@ void TcpNode::on_frame(ReplicaId from, Bytes payload) {
     ++verify_pending_by_sender_[from];
     return;
   }
-  if (replica_) replica_->on_message(from, payload);
+  // Inline path: a peer frame is never byte-shared with another delivery,
+  // so skip the decode-cache probe (hash + LRU insert) entirely.
+  if (replica_) replica_->on_message_uncached(from, payload);
 }
 
 void TcpNode::flush_verify_batch() {
@@ -588,22 +641,29 @@ void TcpNode::drain_verified() {
   }
 }
 
-void TcpNode::handle_readable(int fd) {
+std::size_t TcpNode::handle_readable(int fd) {
   auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
+  if (it == conns_.end()) return 0;
   Conn& conn = it->second;
 
+  std::size_t total_read = 0;
   std::uint8_t buf[65536];
   for (;;) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n > 0) {
       conn.inbox.insert(conn.inbox.end(), buf, buf + n);
+      total_read += static_cast<std::size_t>(n);
+      // A short read means the socket buffer is drained: the follow-up
+      // recv would only confirm EAGAIN. Bytes landing in the gap are
+      // caught by the next poll — worth saving a syscall per wakeup on
+      // the steady-state path (one small frame per read).
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
     close_peer(fd);  // EOF or hard error
-    return;
+    return total_read;
   }
 
   // Hello first on accepted connections. Identification is attempted on
@@ -611,12 +671,12 @@ void TcpNode::handle_readable(int fd) {
   // calls — half-open peers cannot grow inbox memory, and the hello
   // deadline (sweep_half_open) bounds how long they hold the fd slot.
   if (conn.peer == kUnknownPeer) {
-    if (conn.inbox.size() < 4) return;
+    if (conn.inbox.size() < 4) return total_read;
     const ReplicaId peer = read_le32(conn.inbox.data());
     conn.inbox.erase(conn.inbox.begin(), conn.inbox.begin() + 4);
     if (peer >= cfg_.peers.size() || fd_of_peer_.count(peer) != 0) {
       close_peer(fd);
-      return;
+      return total_read;
     }
     conn.peer = peer;
     fd_of_peer_[peer] = fd;
@@ -628,7 +688,7 @@ void TcpNode::handle_readable(int fd) {
     const std::uint32_t len = read_le32(conn.inbox.data() + offset);
     if (len > kMaxFrame) {
       close_peer(fd);
-      return;
+      return total_read;
     }
     if (conn.inbox.size() - offset - 4 < len) break;
     Bytes payload(conn.inbox.begin() + offset + 4, conn.inbox.begin() + offset + 4 + len);
@@ -636,9 +696,10 @@ void TcpNode::handle_readable(int fd) {
     on_frame(conn.peer, std::move(payload));
     // on_frame can close fd via a send failure; revalidate.
     it = conns_.find(fd);
-    if (it == conns_.end()) return;
+    if (it == conns_.end()) return total_read;
   }
   if (offset > 0) conn.inbox.erase(conn.inbox.begin(), conn.inbox.begin() + offset);
+  return total_read;
 }
 
 void TcpNode::run_loop() {
@@ -691,13 +752,24 @@ void TcpNode::run_loop() {
     }
   }
 
-  // Dial lower-id peers (they accept); higher-id peers dial us.
+  // Dial lower-id peers (they accept); higher-id peers dial us. The
+  // replica itself starts only once the full mesh is connected (or the
+  // grace deadline passes): a proposal multicast before the peer fds
+  // exist is silently dropped, and a cluster booting that way pays a
+  // whole round timeout plus a cluster-wide fallback before the first
+  // commit.
   for (ReplicaId peer = 0; peer < cfg_.id; ++peer) try_connect(peer);
-  replica_->start();
+  bool replica_started = false;
+  const SimTime start_deadline = executor_.now() + cfg_.start_grace_us;
 
   std::vector<pollfd> pfds;
   bool fatal = false;
   while (!stop_flag_.load(std::memory_order_relaxed) && !fatal) {
+    if (!replica_started &&
+        (fd_of_peer_.size() + 1 >= cfg_.peers.size() || executor_.now() >= start_deadline)) {
+      replica_started = true;
+      replica_->start();
+    }
     // Read sweeps: the first poll blocks until the next timer deadline (or
     // input); follow-up passes poll with a zero timeout and only continue
     // while input is still pending. Draining a whole burst before the
@@ -727,7 +799,8 @@ void TcpNode::run_loop() {
       }
 
       int timeout_ms = 100;
-      const SimTime deadline = executor_.next_deadline();
+      SimTime deadline = executor_.next_deadline();
+      if (!replica_started) deadline = std::min(deadline, start_deadline);
       if (deadline != kSimTimeNever) {
         const SimTime now = executor_.now();
         timeout_ms = deadline <= now
@@ -774,8 +847,9 @@ void TcpNode::run_loop() {
       for (std::size_t i = 2; i < pfds.size(); ++i) {
         if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) readable.push_back(pfds[i].fd);
       }
+      std::size_t sweep_bytes = 0;
       for (int fd : readable) {
-        handle_readable(fd);
+        sweep_bytes += handle_readable(fd);
         // Re-check the backlog after every socket, not just at sweep
         // start: one sweep reads up to every peer's pending bytes, which
         // could overshoot verify_backlog_max by a full burst before the
@@ -789,6 +863,12 @@ void TcpNode::run_loop() {
       // Hand this sweep's burst to the pool as one job: one lock, one
       // notify, regardless of how many frames the sweep produced.
       flush_verify_batch();
+      // Each readable socket was drained to EAGAIN above, so another
+      // zero-timeout sweep only pays off when data kept arriving while
+      // this one was processing — plausible after a heavy sweep, pure
+      // syscall overhead after a light one (the steady state: one small
+      // proposal or vote per wakeup).
+      if (sweep_bytes < 32768) break;
     }
     sweep_half_open();
 
@@ -798,6 +878,15 @@ void TcpNode::run_loop() {
     flush_verify_batch();
     drain_verified();
 
+    // Loopback deliveries (handlers may queue more; drain to empty). The
+    // cached entry point wins here: the sender seeded the decode cache at
+    // encode time, so delivery is a pure hit.
+    while (!self_inbox_.empty()) {
+      SharedBytes payload = std::move(self_inbox_.front());
+      self_inbox_.pop_front();
+      if (replica_) replica_->on_message(cfg_.id, *payload);
+    }
+
     executor_.run_due();
 
     // Everything produced this iteration (frame handlers, verified
@@ -806,12 +895,28 @@ void TcpNode::run_loop() {
     flush_writes();
   }
   if (verify_pool_) {
-    // Join the workers; frames still in the pool (or buffered for it) at
-    // stop can never be delivered — count them instead of dropping
-    // silently. The loss is benign (equivalent to frames racing the
-    // connection teardown) but should be visible in the stats ledger.
-    // The pool object itself stays alive: the registry may hold attached
-    // pointers into its histograms.
+    // Drain before joining: frames already read off sockets deserve
+    // delivery (dropping them skews per-run message accounting — every
+    // vt>0 bench row used to end with 1–21 frames undelivered). Submit
+    // the buffered tail, then give the workers a bounded window to finish
+    // what is in flight while we keep delivering results.
+    flush_verify_batch();
+    const auto drain_deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+    while (verify_pool_->in_flight() > 0 &&
+           std::chrono::steady_clock::now() < drain_deadline) {
+      drain_verified();
+      if (verify_pool_->in_flight() > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    drain_verified();
+    // Join the workers; anything still stuck after the drain window can
+    // never be delivered — count it instead of dropping silently. The
+    // loss is benign (equivalent to frames racing the connection
+    // teardown) but should be visible in the stats ledger. The pool
+    // object itself stays alive: the registry may hold attached pointers
+    // into its histograms.
     const std::size_t dropped = verify_pool_->shutdown() + pending_batch_.size();
     pending_batch_.clear();
     if (dropped > 0) {

@@ -62,7 +62,11 @@ class RealtimeExecutor final : public sim::IExecutor {
   void cancel(sim::EventId id) override;
 
   /// Absolute time of the nearest pending event, or kSimTimeNever.
-  SimTime next_deadline() const;
+  /// Cancelled entries at the head of the heap are retired here (the
+  /// protocol cancels and re-arms its round timer every round; reporting
+  /// the stale deadline would wake the poll loop once per round for
+  /// nothing).
+  SimTime next_deadline();
 
   /// Fire everything due at `now()`. Returns events executed.
   std::size_t run_due();
@@ -223,6 +227,32 @@ class VerifyPool {
   /// Frames submitted but not yet drained (lock-free).
   std::size_t in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
 
+  /// Adaptive bypass signal (node thread, lock-free): true once both cost
+  /// EWMAs are calibrated (>= kCalibrationFrames each) and the measured
+  /// per-frame verify cost is below the measured per-frame pool round
+  /// trip. When the workload is one small frame per wakeup (the
+  /// steady-state vote/proposal trickle), the handoff — futex, context
+  /// switch on a loaded box, wake-pipe — costs more than the two SHA-256s
+  /// it offloads, and the node should verify inline; under multicast
+  /// bursts the amortized handoff gets cheap and pooling wins again. The
+  /// caller keeps routing ~1/256 of eligible frames through the pool as
+  /// probes so both EWMAs track the current regime.
+  bool prefers_inline() const {
+    if (verify_frames_measured_.load(std::memory_order_relaxed) < kCalibrationFrames ||
+        handoff_frames_measured_.load(std::memory_order_relaxed) < kCalibrationFrames) {
+      return false;
+    }
+    return verify_ns_ewma_.load(std::memory_order_relaxed) <
+           handoff_ns_ewma_.load(std::memory_order_relaxed);
+  }
+
+  /// Current EWMA estimates, nanoseconds per frame (0 until calibrated).
+  std::uint64_t verify_cost_ns() const { return verify_ns_ewma_.load(std::memory_order_relaxed); }
+  std::uint64_t handoff_cost_ns() const { return handoff_ns_ewma_.load(std::memory_order_relaxed); }
+
+  /// Frames each EWMA must see before prefers_inline() may fire.
+  static constexpr std::uint64_t kCalibrationFrames = 64;
+
   /// Stop workers and join. Returns the number of frames submitted but
   /// never drained — frames that will now never be delivered. Idempotent;
   /// the destructor calls it too (discarding the count).
@@ -261,6 +291,13 @@ class VerifyPool {
   /// Set by the worker that makes new results drainable; cleared by
   /// drain_ready. Collapses wake-pipe writes to one per drain cycle.
   std::atomic<bool> wake_pending_{false};
+  /// Cost model for the adaptive bypass (relaxed atomics; the races
+  /// between workers lose at most one EWMA step — these feed a routing
+  /// heuristic, not protocol logic). alpha = 1/8.
+  std::atomic<std::uint64_t> verify_ns_ewma_{0};   ///< per-frame decode+verify
+  std::atomic<std::uint64_t> handoff_ns_ewma_{0};  ///< per-frame submit->drain
+  std::atomic<std::uint64_t> verify_frames_measured_{0};
+  std::atomic<std::uint64_t> handoff_frames_measured_{0};
   obs::Histogram batch_size_;
   obs::Histogram handoff_us_;
   std::vector<std::thread> workers_;
@@ -289,6 +326,13 @@ struct NodeConfig {
   /// budget (microseconds) or they are closed; otherwise half-open
   /// connections would hold conns_ slots (and fds) forever.
   SimTime hello_timeout = 2'000'000;
+  /// The replica starts once the full peer mesh is connected, or after
+  /// this grace period (microseconds) — whichever comes first. Starting
+  /// before the mesh is up silently drops the first leader's proposal
+  /// (no fd for the peer yet) and every cluster boot then pays a full
+  /// round timeout plus a cluster-wide fallback before committing
+  /// anything. The grace bound keeps a dead peer from stalling startup.
+  SimTime start_grace_us = 500'000;
   /// Verification worker threads for inbound frames (decode + envelope
   /// signature off the poll thread, ordered handoff back — see
   /// VerifyPool). 0 = verify inline on the node thread.
@@ -349,7 +393,10 @@ class TcpNode {
 
   void run_loop();
   void try_connect(ReplicaId peer);
-  void handle_readable(int fd);
+  /// Returns the bytes read off the socket (0 on teardown): the poll loop
+  /// only spends another zero-timeout sweep when the previous one moved
+  /// enough data to suggest more arrived while it was processing.
+  std::size_t handle_readable(int fd);
   void close_peer(int fd);
   void on_frame(ReplicaId from, Bytes payload);
   /// Close accepted connections that have not identified themselves
@@ -391,6 +438,15 @@ class TcpNode {
   /// sender has nothing in flight, or frames would reorder within the
   /// sender's channel. Indexed by ReplicaId.
   std::vector<std::uint32_t> verify_pending_by_sender_;
+  /// Frames routed inline by the adaptive bypass since the last probe;
+  /// every 256th eligible frame goes through the pool instead, keeping
+  /// the handoff EWMA fresh while the bypass is engaged.
+  std::uint32_t bypass_probe_ = 0;
+  /// Loopback deliveries queued by TcpNetwork::send(to == self), drained
+  /// once per poll iteration — same deferred semantics as the simulator's
+  /// self-delivery event, without an executor heap entry and closure
+  /// allocation per message.
+  std::deque<SharedBytes> self_inbox_;
 
   std::thread thread_;
   std::atomic<bool> stop_flag_{false};

@@ -1,18 +1,23 @@
 #!/usr/bin/env python3
 """CI gate for the verify-pool throughput fix.
 
-Reads a bench NDJSON file (BENCH_pr6.json) and asserts that on the
-multicast-load rows (tcp_cluster_multicast_load, the O(n^2) always-
-fallback storm at n=7) the batched off-thread verification path with
+Reads a bench NDJSON file and asserts that off-thread verification with
 verify_threads=2 is no slower than inline verification (verify_threads=0),
-modulo a slack factor for shared-runner noise.
+modulo a slack factor for shared-runner noise, on two row families:
 
-The regression this guards: the first VerifyPool paid more in per-frame
-handoff synchronization than the two SHA-256s it offloaded, so enabling
-it LOWERED blocks/s. The batched, sender-sharded redesign must at least
-break even here (and wins outright on multi-core hardware).
+  * tcp_cluster_multicast_load — the O(n^2) always-fallback storm at n=7.
+    The regression this guards: the first VerifyPool paid more in
+    per-frame handoff synchronization than the two SHA-256s it offloaded,
+    so enabling it LOWERED blocks/s. The batched, sender-sharded redesign
+    must at least break even here.
+  * tcp_cluster — the steady-state trickle (one small vote/proposal per
+    wakeup), gated per cluster size n. The regression this guards: with a
+    cold pool every frame paid a futex round trip that dwarfed the two
+    SHA-256s, so vt2 ran far below vt0 (BENCH_pr6: 1175 vs 1917 at n=10).
+    The adaptive bypass (VerifyPool::prefers_inline) must keep vt2 within
+    the slack of vt0 in this regime too.
 
-Usage: check_verify_gate.py BENCH_pr6.json [slack]
+Usage: check_verify_gate.py BENCH.json [slack]
   slack: vt2 must be >= slack * vt0 (default 0.9, i.e. 10% slack).
 """
 import json
@@ -23,25 +28,30 @@ def main() -> int:
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr6.json"
     slack = float(sys.argv[2]) if len(sys.argv) > 2 else 0.9
 
-    # Last row per verify_threads value wins (the file accumulates across
-    # CI runs of several benches; the freshest numbers are the ones that
-    # belong to this run).
-    by_vt = {}
+    # Last row per key wins (the file accumulates across CI runs of
+    # several benches; the freshest numbers are the ones that belong to
+    # this run).
+    multicast_by_vt = {}
+    cluster_by_n_vt = {}
     with open(path) as f:
         for line in f:
             line = line.strip()
             if not line:
                 continue
             row = json.loads(line)
-            if row.get("bench") != "tcp_cluster_multicast_load":
-                continue
-            by_vt[int(row["verify_threads"])] = float(row["blocks_per_sec"])
+            bench = row.get("bench")
+            if bench == "tcp_cluster_multicast_load":
+                multicast_by_vt[int(row["verify_threads"])] = float(row["blocks_per_sec"])
+            elif bench == "tcp_cluster":
+                key = (int(row["n"]), int(row["verify_threads"]))
+                cluster_by_n_vt[key] = float(row["blocks_per_sec"])
 
-    if 0 not in by_vt or 2 not in by_vt:
-        print(f"gate: missing multicast-load rows (have vt={sorted(by_vt)}) in {path}")
+    failed = False
+
+    if 0 not in multicast_by_vt or 2 not in multicast_by_vt:
+        print(f"gate: missing multicast-load rows (have vt={sorted(multicast_by_vt)}) in {path}")
         return 1
-
-    vt0, vt2 = by_vt[0], by_vt[2]
+    vt0, vt2 = multicast_by_vt[0], multicast_by_vt[2]
     floor = slack * vt0
     verdict = "PASS" if vt2 >= floor else "FAIL"
     print(
@@ -51,8 +61,31 @@ def main() -> int:
     if vt2 < floor:
         print("gate: off-thread verification is slower than inline again — "
               "the pool handoff has regressed")
+        failed = True
+
+    sizes = sorted({n for (n, _vt) in cluster_by_n_vt})
+    if not sizes:
+        print(f"gate: missing tcp_cluster rows in {path}")
         return 1
-    return 0
+    for n in sizes:
+        if (n, 0) not in cluster_by_n_vt or (n, 2) not in cluster_by_n_vt:
+            print(f"gate: tcp_cluster n={n}: missing vt0 or vt2 row")
+            failed = True
+            continue
+        vt0 = cluster_by_n_vt[(n, 0)]
+        vt2 = cluster_by_n_vt[(n, 2)]
+        floor = slack * vt0
+        verdict = "PASS" if vt2 >= floor else "FAIL"
+        print(
+            f"gate: tcp_cluster n={n} blocks/s: vt0={vt0:.0f} vt2={vt2:.0f} "
+            f"(floor {slack:.2f}*vt0={floor:.0f}) -> {verdict}"
+        )
+        if vt2 < floor:
+            print(f"gate: n={n}: the adaptive verify bypass is not engaging — "
+                  "steady-state frames are paying the pool round trip again")
+            failed = True
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
