@@ -148,6 +148,10 @@ void DiemBftReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
   const smr::Certificate parent = block.parent;
   const Round r = block.round;
   const smr::BlockId id_of_block = block.id;
+  // This block passed proposal authentication (signed envelope from the
+  // round's leader): it — and only it — may earn this round's vote, even
+  // when the vote is deferred until its batch resolves.
+  note_vote_candidate(block);
   store_block(std::move(block), from);
   trace(obs::EventKind::kProposalReceived, 0, r, 0, from);
 
@@ -163,6 +167,10 @@ void DiemBftReplica::try_vote(const smr::Block& block) {
   const Round r = block.round;
   if (block.height != 0 || block.view != 0) return;
   if (r != r_cur_ || r <= r_vote_ || timed_out_cur_round_) return;
+  // Proposal authentication: blocks that entered the store via catch-up
+  // (BlockResponseMsg) never passed handle_proposal's leader check, and
+  // the deferred retry below must not vote on them.
+  if (block.proposer != leader_of(r) || !vote_candidate(block)) return;
   if (block.parent.rank(false) < rank_lock()) return;
   // Batch-reference blocks: defer the vote until the payload resolves
   // (store_block started the pull); on_batch_resolved retries this rule.

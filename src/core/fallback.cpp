@@ -209,6 +209,10 @@ void FallbackReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
   const Round r = block.round;
   const View v = block.view;
   const smr::BlockId block_id = block.id;
+  // This block passed proposal authentication (signed envelope from the
+  // round's leader): it — and only it — may earn this round's vote, even
+  // when the vote is deferred until its batch resolves.
+  note_vote_candidate(block);
   store_block(std::move(block), from);
   trace(obs::EventKind::kProposalReceived, v, r, 0, from);
 
@@ -226,6 +230,10 @@ void FallbackReplica::try_vote_steady(const smr::Block& block) {
   if (block.height != 0) return;
   if (fallback_mode_ || timed_out_cur_round_) return;
   if (r != r_cur_ || v != v_cur_ || r <= r_vote_) return;
+  // Proposal authentication: blocks that entered the store via catch-up
+  // (BlockResponseMsg) never passed handle_proposal's leader check, and
+  // the deferred retry below must not vote on them.
+  if (block.proposer != leader_of(r) || !vote_candidate(block)) return;
   if (rank_of(block.parent) < rank_lock()) return;
   if (r != block.parent.round + 1) return;
   // Batch-reference blocks: the vote waits for the payload — external

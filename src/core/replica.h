@@ -120,6 +120,10 @@ struct ReplicaStats {
   obs::Counter batch_pull_timeouts;
   obs::Counter batch_ref_hits;
   obs::Counter batch_ref_misses;
+  /// Pull responses suppressed by the per-(peer, batch) cooldown — a
+  /// nonzero count under honest load means peers are re-pulling faster
+  /// than batch_pull_timeout_us, i.e. the cooldown is misconfigured.
+  obs::Counter batch_pushes_suppressed;
 };
 
 /// Walk every ReplicaStats counter with its stable metric name. Single
@@ -150,6 +154,7 @@ void for_each_counter(const ReplicaStats& s, Fn&& fn) {
   fn("repro_batch_pull_timeouts_total", &s.batch_pull_timeouts);
   fn("repro_batch_ref_hits_total", &s.batch_ref_hits);
   fn("repro_batch_ref_misses_total", &s.batch_ref_misses);
+  fn("repro_batch_pushes_suppressed_total", &s.batch_pushes_suppressed);
 }
 
 /// Attach every counter of `s` to `reg` under a replica="<id>" label.

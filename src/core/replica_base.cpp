@@ -1,5 +1,7 @@
 #include "core/replica_base.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace repro::core {
@@ -173,8 +175,15 @@ void ReplicaBase::deliver(ReplicaId from, smr::Message&& msg) {
     return;
   }
   if (auto* pull = std::get_if<smr::BatchPullMsg>(&msg)) {
+    // Amplification guard: a 36-byte pull elicits a potentially
+    // multi-megabyte push, so each (peer, batch) pair gets at most one
+    // push per cooldown window. Honest pullers rotate targets and only
+    // re-ask the same replica after n timeouts, far outside the window;
+    // a flood of duplicate pulls from one peer is absorbed for free.
     if (const Bytes* data = batch_store_.get(pull->batch_id)) {
-      send(from, smr::BatchPushMsg{*data});
+      if (allow_batch_push(from, pull->batch_id)) {
+        send(from, smr::BatchPushMsg{*data});
+      }
     }
     return;
   }
@@ -445,6 +454,45 @@ void ReplicaBase::on_batch_pull_timer(const smr::BatchId& ref) {
   send_batch_pull(ref);
 }
 
+bool ReplicaBase::allow_batch_push(ReplicaId peer, const smr::BatchId& ref) {
+  const SimTime now = sim_->now();
+  auto& log = recent_pushes_[peer];
+  // Lazy expiry keeps the per-peer map to pushes inside the window.
+  for (auto it = log.begin(); it != log.end();) {
+    it = now - it->second >= cfg_.batch_pull_timeout_us ? log.erase(it) : std::next(it);
+  }
+  const bool fresh = log.emplace(ref, now).second;
+  if (!fresh) ++stats_.batch_pushes_suppressed;
+  return fresh;
+}
+
+void ReplicaBase::prune_batch_waiters() {
+  if (ledger_.records().empty()) return;
+  const Round tip = ledger_.records().back().round;
+  for (auto it = waiting_batch_.begin(); it != waiting_batch_.end();) {
+    auto& ids = it->second;
+    // A block at or below the committed tip that is not itself committed
+    // sits on a dead fork: it can never be voted on (r_cur is past it)
+    // and never commit (the chain at its round is final). Committed
+    // blocks never linger here — commit gating requires resolution, and
+    // resolution removes the waiter.
+    ids.erase(std::remove_if(ids.begin(), ids.end(),
+                             [&](const smr::BlockId& bid) {
+                               const smr::Block* b = store_.get(bid);
+                               return b == nullptr || b->round <= tip;
+                             }),
+              ids.end());
+    it = ids.empty() ? waiting_batch_.erase(it) : std::next(it);
+  }
+  for (auto it = waiting_commit_batch_.begin(); it != waiting_commit_batch_.end();) {
+    auto& certs = it->second;
+    certs.erase(std::remove_if(certs.begin(), certs.end(),
+                               [&](const smr::Certificate& c) { return c.round <= tip; }),
+                certs.end());
+    it = certs.empty() ? waiting_commit_batch_.erase(it) : std::next(it);
+  }
+}
+
 void ReplicaBase::defer_commit(const smr::BlockId& missing, const smr::Certificate& cert) {
   auto& waiting = waiting_commit_[missing];
   // During catch-up many certificates stall on the same missing ancestor;
@@ -542,6 +590,7 @@ void ReplicaBase::try_commit_from(const smr::Certificate& cert, ReplicaId hint) 
             smr::BlockIdHash{}(rec.id));
       if (on_commit_) on_commit_(rec);
     }
+    prune_batch_waiters();
   }
 }
 

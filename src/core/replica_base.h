@@ -287,7 +287,8 @@ class ReplicaBase : public IReplica {
   /// kInvalidTxns fault corrupts the batch (0xFF prefix) so external
   /// validity rejections can be exercised.
   Bytes next_payload() {
-    Bytes batch = payload_source_ ? payload_source_() : mempool_.next_batch();
+    Bytes batch =
+        payload_source_ ? payload_source_() : mempool_.next_batch(adaptive_batch_target());
     if (cfg_.fault.proposes_invalid_txns()) {
       batch.insert(batch.begin(), 0xFF);
     }
@@ -309,12 +310,34 @@ class ReplicaBase : public IReplica {
 
   /// Adaptive batch-size target (inert unless batch_bytes_max is set):
   /// grows with mempool backlog, shrinks with rounds in flight beyond the
-  /// committed tip.
+  /// committed tip. next_payload() seals at this size, so every proposal
+  /// path — pre-announced batches, inline blocks, fallback blocks — is
+  /// governed by the same policy.
   std::size_t adaptive_batch_target() {
     if (cfg_.batch_bytes_max <= cfg_.batch_bytes) return cfg_.batch_bytes;
     const Round tip = ledger_.records().empty() ? 0 : ledger_.records().back().round;
     const std::uint64_t in_flight = r_cur_ > tip ? r_cur_ - tip : 0;
     return mempool_.adaptive_target(cfg_.batch_bytes_max, in_flight);
+  }
+
+  // Deferred-vote authentication gate ------------------------------------
+  // Blocks reach the store through several paths — verified proposals,
+  // catch-up BlockResponseMsg, equivocation halves — but only the block
+  // carried by a signature-verified ProposalMsg from the round's leader
+  // may ever earn a vote. The vote rules re-check this when the deferred
+  // batch-resolution retry fires, so a Byzantine peer cannot inject an
+  // id-consistent ref block via catch-up, supply its batch, and harvest a
+  // vote for a block the leader never proposed.
+  /// Record the block of a proposal that passed authentication (called by
+  /// handle_proposal after its validity checks). Only the newest matters:
+  /// votes are only ever cast for the current round.
+  void note_vote_candidate(const smr::Block& block) {
+    vote_candidate_round_ = block.round;
+    vote_candidate_id_ = block.id;
+  }
+  /// True iff `block` is the block the latest verified proposal carried.
+  bool vote_candidate(const smr::Block& block) const {
+    return vote_candidate_round_ == block.round && vote_candidate_id_ == block.id;
   }
 
   /// Out-of-band pre-broadcast: if this replica leads `round` and has no
@@ -381,6 +404,14 @@ class ReplicaBase : public IReplica {
   void start_batch_pull(const smr::BatchId& ref, ReplicaId hint);
   void send_batch_pull(const smr::BatchId& ref);
   void on_batch_pull_timer(const smr::BatchId& ref);
+  /// Pull-response amplification guard: true if a push of `ref` to `peer`
+  /// is allowed now (and records it); false within the cooldown window.
+  bool allow_batch_push(ReplicaId peer, const smr::BatchId& ref);
+  /// Drop batch waiters that can no longer matter (blocks at or below the
+  /// committed tip are on dead forks and are never voted on again), so
+  /// Byzantine ref blocks with bogus digests cannot grow the maps across
+  /// rounds. Runs after every successful commit.
+  void prune_batch_waiters();
 
   sim::IExecutor* sim_;
   net::INetwork* net_;
@@ -423,6 +454,14 @@ class ReplicaBase : public IReplica {
     sim::EventId timer = sim::kInvalidEvent;
   };
   std::unordered_map<smr::BatchId, BatchPull, smr::BlockIdHash> batch_pulls_;
+  /// Recent pushes per peer (batch id -> send time), pruned lazily to the
+  /// cooldown window. Bounded: entries exist only for batches we actually
+  /// hold (the byte-bounded store) and expire after batch_pull_timeout_us.
+  std::unordered_map<ReplicaId, std::unordered_map<smr::BatchId, SimTime, smr::BlockIdHash>>
+      recent_pushes_;
+  /// Proposal-authentication gate (see note_vote_candidate).
+  Round vote_candidate_round_ = 0;
+  smr::BlockId vote_candidate_id_{};
 
   std::map<View, smr::CoinQC> coins_;
   std::unordered_set<smr::BlockId, smr::BlockIdHash> outstanding_fetches_;

@@ -59,13 +59,16 @@ class Mempool {
   /// Adaptive target size (DESIGN.md §12.3): grow stepwise toward
   /// `max_bytes` while more than one batch's worth of backlog is queued,
   /// shrink back toward the base size while `in_flight_rounds` proposals
-  /// are still unresolved downstream. With max_bytes <= base the policy
-  /// is inert and the target is exactly the base size.
+  /// are still unresolved downstream. The back-off threshold sits above
+  /// the steady-state 3-chain commit depth (~3 rounds between the tip
+  /// and r_cur even when everything is healthy), so only genuine pileups
+  /// — timeouts, a slow replica — trigger the shrink. With max_bytes <=
+  /// base the policy is inert and the target is exactly the base size.
   std::size_t adaptive_target(std::size_t max_bytes, std::uint64_t in_flight_rounds) {
     if (max_bytes <= batch_bytes_) return batch_bytes_;
     std::size_t target = target_ == 0 ? batch_bytes_ : target_;
     const std::size_t step = std::max<std::size_t>(256, (max_bytes - batch_bytes_) / 8);
-    if (in_flight_rounds > 2) {
+    if (in_flight_rounds > 6) {
       target = target > batch_bytes_ + step ? target - step : batch_bytes_;
     } else if (backlog_bytes_ > target + target / 2) {
       target = std::min(max_bytes, target + step);

@@ -583,7 +583,8 @@ void TcpNode::on_frame(ReplicaId from, Bytes payload) {
       // the handoff EWMA tracks the current regime; a multicast burst
       // marks the sender busy, piles its frames into the pool via the
       // ordering rule, and the refreshed EWMAs flip the route back.
-      if (verify_pool_->prefers_inline() && (++bypass_probe_ & 0xFFu) != 0) {
+      const bool adaptive = verify_pool_->prefers_inline();
+      if (adaptive && (++bypass_probe_ & 0xFFu) != 0) {
         network_->stats().verify_inline_frames += 1;
         if (replica_) replica_->on_message_uncached(from, payload);
         return;
@@ -593,10 +594,14 @@ void TcpNode::on_frame(ReplicaId from, Bytes payload) {
       // pool round-trip would be pure overhead — deliver inline. Safe for
       // per-sender ordering precisely because nothing from `from` is in
       // flight. The key is computed here either way and rides along on the
-      // Item, so a miss costs the workers no second hash.
+      // Item, so a miss costs the workers no second hash. Calibration
+      // probes (the 1-in-256 frames falling through while the adaptive
+      // bypass is engaged) skip this shortcut: they exist to feed the
+      // handoff EWMA a fresh sample, and a cache-hit inline delivery would
+      // starve it — pinning the inline route on stale measurements.
       item.key = smr::DecodeCache::key_of(payload);
       item.has_key = true;
-      if (decode_cache_->sender_verified(item.key, from)) {
+      if (!adaptive && decode_cache_->sender_verified(item.key, from)) {
         network_->stats().verify_bypass_frames += 1;
         if (replica_) replica_->on_message_keyed(from, payload, item.key);
         return;

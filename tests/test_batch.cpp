@@ -315,5 +315,126 @@ TEST(BatchRef, ByzantineBadDigestNeverGetsAVote) {
   EXPECT_FALSE(rig.sent<smr::FbTimeoutMsg>().empty());
 }
 
+/// A block that enters the store through catch-up (an unsolicited
+/// BlockResponseMsg) never passed proposal authentication, so the
+/// deferred batch-resolution retry must not vote on it — even when it is
+/// id-consistent, names the correct leader as proposer, and its batch
+/// later resolves. Without the vote-candidate gate a Byzantine peer
+/// could harvest honest votes for blocks the leader never proposed.
+TEST(BatchRef, CatchUpBlockNeverHarvestsDeferredVote) {
+  core::ProtocolConfig pcfg;
+  pcfg.leader_rotation = 1;  // leader(1) = replica 0, leader(2) = replica 1
+  Rig rig(pcfg);
+  rig.replica->start();
+  rig.settle();  // replica 0 proposes round 1
+  const auto proposals = rig.sent<smr::ProposalMsg>();
+  ASSERT_FALSE(proposals.empty());
+  const smr::Block b1 = proposals.front().block;
+
+  // Advance replica 0 into round 2 by forming the round-1 QC from votes
+  // (no round-2 proposal exists: leader 1 stays silent).
+  const Bytes vote_msg =
+      smr::cert_signing_message(smr::CertKind::kQuorum, b1.id, b1.round, b1.view, 0, 0);
+  for (ReplicaId i = 1; i < 4; ++i) {
+    smr::VoteMsg v;
+    v.block_id = b1.id;
+    v.round = b1.round;
+    v.view = b1.view;
+    v.share = rig.crypto_sys->quorum_sigs.sign_share(i, vote_msg);
+    rig.inject(i, std::move(v));
+  }
+  ASSERT_EQ(rig.replica->current_round(), 2u);
+
+  // Byzantine replica 2 injects an id-consistent ref block for round 2
+  // naming the honest leader 1 as proposer — via catch-up, not a signed
+  // proposal from leader 1 — then supplies the matching batch.
+  Bytes batch = bytes_of(2048, 0x7A);
+  const BatchId ref = Batch::compute_id(batch);
+  smr::Block forged = smr::Block::make(rig.make_qc(b1), 2, 0, 0, /*proposer=*/1,
+                                       Bytes(ref.begin(), ref.end()), smr::kBatchRefPayload);
+  smr::BlockResponseMsg resp;
+  resp.blocks.push_back(forged);
+  rig.inject(2, std::move(resp));
+  EXPECT_GT(rig.replica->stats().batch_ref_misses, 0u);  // the retry armed
+  rig.inject(2, smr::BatchPushMsg{std::move(batch)});
+
+  // The batch resolved the block, but the resolution retry finds no
+  // authenticated proposal for it: no round-2 vote ever leaves.
+  for (const auto& v : rig.sent<smr::VoteMsg>()) EXPECT_NE(v.round, 2u);
+}
+
+/// Pull responses are deduplicated per (peer, batch): a flood of
+/// identical 36-byte pulls cannot multiply into a stream of full-batch
+/// pushes (bandwidth amplification). Distinct peers are unaffected, and
+/// the same peer may pull again once the cooldown window passes.
+TEST(BatchRef, PullResponsesAreRateLimitedPerPeer) {
+  core::ProtocolConfig pcfg;
+  pcfg.leader_rotation = 1;
+  pcfg.batch_bytes = 1024;  // the round-1 proposal seals + announces
+  Rig rig(pcfg);
+  rig.replica->start();
+  rig.settle();
+  const auto announced = rig.sent<smr::BatchMsg>();
+  ASSERT_FALSE(announced.empty());
+  const BatchId ref = Batch::compute_id(announced.front().data);
+
+  auto pushes_to = [&](ReplicaId peer) {
+    std::size_t count = 0;
+    for (const auto& [to, from, msg] : rig.captured) {
+      if (to == peer && std::holds_alternative<smr::BatchPushMsg>(msg)) ++count;
+    }
+    return count;
+  };
+  rig.inject(2, smr::BatchPullMsg{ref});
+  rig.inject(2, smr::BatchPullMsg{ref});
+  rig.inject(2, smr::BatchPullMsg{ref});
+  EXPECT_EQ(pushes_to(2), 1u);
+  EXPECT_EQ(rig.replica->stats().batch_pushes_suppressed, 2u);
+  // A different peer's first pull answers immediately.
+  rig.inject(3, smr::BatchPullMsg{ref});
+  EXPECT_EQ(pushes_to(3), 1u);
+  // Past the cooldown the original peer is served again (honest retries
+  // rotate through all n replicas, landing far outside the window).
+  rig.sim.run_until(rig.sim.now() + 2 * pcfg.batch_pull_timeout_us);
+  rig.inject(2, smr::BatchPullMsg{ref});
+  EXPECT_EQ(pushes_to(2), 2u);
+}
+
+/// End-to-end adaptive sizing: with batch_bytes_max set and a deep client
+/// backlog, the production proposal path (next_payload -> take_payload)
+/// seals batches above the base size; with the knob off every committed
+/// payload stays at exactly base + header.
+TEST(AdaptiveBatch, ProposalPathGrowsBatchesUnderBacklog) {
+  auto run = [](std::size_t max_bytes) {
+    harness::ExperimentConfig cfg;
+    cfg.n = 4;
+    cfg.protocol = harness::Protocol::kFallback3;
+    cfg.seed = 94;
+    cfg.pcfg.batch_bytes = 1024;
+    cfg.pcfg.batch_bytes_max = max_bytes;
+    cfg.make_delay = [] { return std::make_unique<net::FixedDelayModel>(1'000); };
+    auto exp = std::make_unique<harness::Experiment>(cfg);
+    for (ReplicaId id = 0; id < 4; ++id) {
+      dynamic_cast<ReplicaBase&>(exp->replica(id)).offer_transactions(1 << 20);
+    }
+    exp->start();
+    exp->run_for(5'000'000);
+    return exp;
+  };
+  auto base = run(0);
+  auto adaptive = run(16 * 1024);
+  auto max_payload = [](const harness::Experiment& exp) {
+    std::size_t mx = 0;
+    for (const auto& rec : exp.replica(0).ledger().records()) {
+      mx = std::max<std::size_t>(mx, rec.payload_bytes);
+    }
+    return mx;
+  };
+  ASSERT_GT(base->replica(0).ledger().records().size(), 10u);
+  EXPECT_EQ(max_payload(*base), 1024u + 12);
+  EXPECT_GT(max_payload(*adaptive), 1024u + 12);
+  EXPECT_LE(max_payload(*adaptive), 16u * 1024 + 12);
+}
+
 }  // namespace
 }  // namespace repro
