@@ -10,6 +10,7 @@
 // iteration into a single writev), payload copies avoided by refcounted
 // multicast buffers, and backpressure drops. `--json <path>` appends the
 // numbers as NDJSON.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -166,10 +167,28 @@ int main(int argc, char** argv) {
   std::printf("    %-6s %-4s %14s %12s %12s %14s %10s\n", "n", "vt", "blocks/s",
               "consistent", "fallbacks", "frames/writev", "drops");
   for (std::uint32_t n : {4u, 7u, 10u}) {
-    for (std::size_t vt : {std::size_t{0}, std::size_t{2}}) {
-      RunOpts opts;
-      opts.verify_threads = vt;
-      const RunResult r = run_cluster(n, 1000, 0, opts);
+    // These rows feed the 0.97-slack verify gate
+    // (tools/check_verify_gate.py). Two noise sources on a shared runner
+    // would swamp that margin if each (n, vt) were a single 1-second
+    // sample: per-run jitter (~5%) and slow machine-wide drift over the
+    // bench's lifetime (vt2 always measured after vt0 would eat a
+    // systematic penalty). Interleave the vt0/vt2 repetitions so drift
+    // hits both sides equally, and report the median of three per side.
+    RunResult runs[2][3];
+    for (int rep = 0; rep < 3; ++rep) {
+      for (std::size_t vi = 0; vi < 2; ++vi) {
+        RunOpts opts;
+        opts.verify_threads = vi == 0 ? 0 : 2;
+        runs[vi][rep] = run_cluster(n, 1000, 0, opts);
+      }
+    }
+    for (std::size_t vi = 0; vi < 2; ++vi) {
+      const std::size_t vt = vi == 0 ? 0 : 2;
+      std::sort(std::begin(runs[vi]), std::end(runs[vi]),
+                [](const RunResult& a, const RunResult& b) {
+                  return a.blocks_per_sec < b.blocks_per_sec;
+                });
+      const RunResult& r = runs[vi][1];
       std::printf("    %-6u %-4zu %14.0f %12s %12llu %14.2f %10llu\n", n, vt,
                   r.blocks_per_sec, r.consistent ? "yes" : "NO",
                   static_cast<unsigned long long>(r.fallbacks), r.frames_per_writev(),

@@ -89,6 +89,31 @@ struct ProtocolConfig {
   /// arrival (kept for differential testing; both modes produce
   /// byte-identical ledgers — see docs/PROTOCOL.md §9).
   bool lazy_share_verify = true;
+
+  /// §3 "Optimization in Practice", applied strictly (DESIGN.md §13): in
+  /// the always-fallback baseline, adopt a certified f-block only when it
+  /// sits at a *higher* position than our own chain — the paper's "at a
+  /// higher position" wording taken literally. The seed adopted at
+  /// equal-or-higher positions, which forks a replica's chain onto a
+  /// foreign proposer mid-chain; such mixed-proposer chains can never
+  /// satisfy the endorsed consecutive commit rule, and at n >= 50 under
+  /// asynchrony that starves decisions entirely. Strict adoption keeps
+  /// every replica's chain leader-pure, so the elected leader's own
+  /// 3-chain commits. Only changes which blocks we *propose*, never which
+  /// certificates exist, so Lemmas 1–3 are untouched (docs/PROTOCOL.md
+  /// §13). Off = the seed's equal-height adoption, byte-identical to
+  /// earlier releases on seeded runs.
+  bool fb_adopt = true;
+
+  /// Certificate relay (DESIGN.md §13): replace redundant all-to-all
+  /// share rebroadcast with aggregate-certificate forwarding where the
+  /// protocol allows — a replica holding a completed f-QC for a chain
+  /// skips its (now pointless) fallback vote for that chain, and the
+  /// coin-QC is re-multicast by f+1 designated relayers per view instead
+  /// of by all n replicas (every honest replica still assembles the coin
+  /// from the multicast shares; the relay only serves stragglers). Off =
+  /// vote-always / relay-everywhere, byte-identical to earlier releases.
+  bool cert_relay = true;
 };
 
 /// The predefined leader sequence L_1, L_2, ... (rounds are 1-based).

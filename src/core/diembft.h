@@ -16,10 +16,18 @@ namespace repro::core {
 
 class DiemBftReplica final : public ReplicaBase {
  public:
-  explicit DiemBftReplica(const ReplicaContext& ctx) : ReplicaBase(ctx) {}
+  explicit DiemBftReplica(const ReplicaContext& ctx) : ReplicaBase(ctx) {
+    votes_.set_max_entries(512);          // flood backstop; see DESIGN.md §13.4
+    timeout_shares_.set_max_entries(64);  // honest load: one round in flight
+  }
 
   void start() override;
   bool in_fallback() const override { return false; }
+
+  /// Quorum-assembly footprint (the repro_share_pool_bytes gauge).
+  std::size_t share_pool_bytes() const override {
+    return votes_.approx_bytes() + timeout_shares_.approx_bytes() + lagrange_bytes();
+  }
 
  protected:
   std::uint32_t commit_len() const override { return 3; }

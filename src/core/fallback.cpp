@@ -9,6 +9,14 @@ FallbackReplica::FallbackReplica(const ReplicaContext& ctx, FallbackParams fb)
   REPRO_ASSERT(fb_.chain_len == 2 || fb_.chain_len == 3);
   r_vote_bar_.assign(params().n, 0);
   h_vote_bar_.assign(params().n, 0);
+  // Byzantine-flood backstops (DESIGN.md §13.4). The periodic pruning
+  // already bounds honest load far below these caps (views: horizon 8 +
+  // floor 4; rounds: 64-round window; fb-votes: own chain only), so an
+  // eviction here can only hit an attacker-created key.
+  view_timeout_shares_.set_max_entries(64);
+  coin_shares_.set_max_entries(64);
+  fb_votes_.set_max_entries(256);
+  votes_.set_max_entries(512);
   recover_from_wal();  // restores vote state if a WAL with history is attached
 }
 
@@ -86,7 +94,28 @@ void FallbackReplica::handle_message(ReplicaId from, smr::Message&& msg) {
   } else if (auto* cs = std::get_if<smr::CoinShareMsg>(&msg)) {
     handle_coin_share(from, *cs);
   } else if (auto* cq = std::get_if<smr::CoinQcMsg>(&msg)) {
-    if (cached_verify(cq->qc)) process_coin(cq->qc);
+    if (!cached_verify(cq->qc)) {
+      blame_cert(from);  // forged coin-QC
+      return;
+    }
+    // Certificate relay (DESIGN.md §13): the sender may piggyback its best
+    // f-QC of the just-elected leader. Recording it *before* Exit Fallback
+    // lets a straggler lock the same endorsed chain the sender locked
+    // (without it, replicas that never saw a leader certificate exit with
+    // a stale lock and propose dead-end chains next view). No adoption
+    // hook runs here — the certificate is the exit lock, not a chain to
+    // extend.
+    if (cq->leader_best) {
+      const smr::Certificate& best = *cq->leader_best;
+      if (best.kind == smr::CertKind::kFallback && best.view == cq->qc.view &&
+          cached_verify(best)) {
+        frontier_.observe(best);  // ignored unless it is the current view
+        note_certificate(best, from);
+      } else {
+        blame_cert(from);  // malformed or forged piggyback
+      }
+    }
+    process_coin(cq->qc);
   }
   // DiemBFT pacemaker messages (kDiemTimeout / kDiemTc) are not part of
   // this protocol and are ignored.
@@ -363,7 +392,7 @@ void FallbackReplica::enter_fallback(View view, const std::optional<smr::Fallbac
   // Reset per-view voting state: r̄_vote[j] = h̄_vote[j] = 0 for all j.
   r_vote_bar_.assign(params().n, 0);
   h_vote_bar_.assign(params().n, 0);
-  best_fqc_by_proposer_.clear();
+  frontier_.reset(view);
   own_fblock_.clear();
   own_height_ = 0;
   top_fqc_proposers_.clear();
@@ -374,6 +403,43 @@ void FallbackReplica::enter_fallback(View view, const std::optional<smr::Fallbac
   // Multicast tc̄ together with our height-1 f-block
   // B̄ = [id, qc_high, qc_high.r + 1, v_cur, txn, 1, i].
   propose_fblock(1, qc_high(), ftc);
+
+  if (fault().forges_fbqc()) forge_fbqc_attack(view);
+}
+
+void FallbackReplica::forge_fbqc_attack(View view) {
+  // Byzantine adoption attack: advertise certificates that were never
+  // formed. Two vectors, both of which honest replicas must reject and
+  // blame (stats_.bad_certs_rejected / cert_blame):
+  //  * forged top-height f-QCs — a *different* fake to each half of the
+  //    network (equivocation) — aimed at the leader-election counting;
+  //  * an f-block extending a forged height-1 f-QC, aimed at the adoption
+  //    rule (mid-height certificates only travel as proposal parents).
+  // The signatures are garbage: the threshold scheme makes forging a real
+  // one infeasible, so verification is the entire defense.
+  auto forge = [&](FallbackHeight height, std::uint32_t salt) {
+    smr::Certificate fake;
+    fake.kind = smr::CertKind::kFallback;
+    Encoder enc;
+    enc.u64(view);
+    enc.u32(height);
+    enc.u32(salt);
+    enc.u32(id());
+    fake.block_id = crypto::sha256_tagged("repro/forged-fqc", enc.result());
+    fake.round = qc_high().round + height;
+    fake.view = view;
+    fake.height = height;
+    fake.proposer = id();
+    fake.sig.value = 0xBAD5EEDull + salt;
+    return fake;
+  };
+  for (ReplicaId to = 0; to < params().n; ++to) {
+    send(to, smr::FbQcMsg{forge(fb_.chain_len, to % 2), {}});
+  }
+  smr::Certificate parent = forge(1, 2);
+  smr::FbProposalMsg msg;
+  msg.block = smr::Block::make(parent, parent.round + 1, view, 2, id(), next_payload());
+  multicast(std::move(msg));
 }
 
 void FallbackReplica::propose_fblock(FallbackHeight height, const smr::Certificate& parent,
@@ -428,7 +494,10 @@ void FallbackReplica::handle_fb_proposal(ReplicaId from, smr::FbProposalMsg&& ms
   if (block.is_batch_ref()) return;
   if (block.height < 1 || block.height > fb_.chain_len) return;
   if (block.proposer != from) return;
-  if (!cached_verify(block.parent)) return;
+  if (!cached_verify(block.parent)) {
+    blame_cert(from);  // f-block built on a forged certificate
+    return;
+  }
   install_attached_coins(msg.coins);
 
   // An attached valid f-TC can pull us into the fallback (Enter Fallback
@@ -473,6 +542,22 @@ void FallbackReplica::handle_fb_proposal(ReplicaId from, smr::FbProposalMsg&& ms
     if (r != parent.round + 1) return;
     if (r <= r_vote_bar_[j]) return;
     if (h != parent.height + 1) return;
+  }
+
+  // Certificate relay (DESIGN.md §13): if we already hold the completed
+  // f-QC for *this very block* (it arrived first as the parent of the
+  // next proposal, or in an FbQcMsg — common under asynchrony), our vote
+  // share is redundant: 2f+1 other shares already combined into the
+  // certificate we hold. Skip the unicast; do NOT advance the vote bars,
+  // so this stays a pure send-suppression. The condition is keyed on the
+  // exact block id — never on (owner, round) or (owner, height), which
+  // are not comparable across the re-proposed chain of a restarted owner.
+  if (config().cert_relay && smr::relay_active(params().n)) {
+    const smr::Certificate* have = store().certificate_for(block_id);
+    if (have != nullptr && have->kind == smr::CertKind::kFallback && have->height == h) {
+      ++stats_.fb_votes_thinned;
+      return;
+    }
   }
 
   if (!externally_valid(store().get(block_id)->payload)) return;
@@ -543,16 +628,21 @@ void FallbackReplica::note_fallback_qc(const smr::Certificate& fqc, ReplicaId hi
     return;
   }
   note_certificate(fqc, hint);
-  auto it = best_fqc_by_proposer_.find(fqc.proposer);
-  if (it == best_fqc_by_proposer_.end() || it->second.round < fqc.round) {
-    best_fqc_by_proposer_.insert_or_assign(fqc.proposer, fqc);
-  }
+  frontier_.observe(fqc);
 
   if (!fallback_mode_) return;
 
   // §3 optimization / Fig 4: extend the first certified f-block we see at
-  // each height instead of waiting for our own chain.
-  if (fb_.adoption_enabled() && fqc.height < fb_.chain_len && own_height_ <= fqc.height) {
+  // each height instead of waiting for our own chain. With fb_adopt on,
+  // the always-fallback baseline applies the rule *strictly* — adopt only
+  // a chain certified at a higher position than our own (the §3 wording).
+  // Adopting at an equal position forks our chain onto a foreign proposer
+  // mid-chain, and such mixed-proposer chains can never satisfy the
+  // endorsed 3-chain commit rule; at scale that starves decisions
+  // entirely (DESIGN.md §13).
+  const bool strict = fb_.always_fallback && config().fb_adopt;
+  const bool behind = strict ? own_height_ < fqc.height : own_height_ <= fqc.height;
+  if (fb_.adoption_enabled() && fqc.height < fb_.chain_len && behind) {
     trace(obs::EventKind::kChainAdopted, fqc.view, fqc.round, fqc.height, fqc.proposer);
     propose_fblock(fqc.height + 1, fqc, std::nullopt);
   }
@@ -566,8 +656,14 @@ void FallbackReplica::note_fallback_qc(const smr::Certificate& fqc, ReplicaId hi
 
 void FallbackReplica::handle_fb_qc(ReplicaId from, const smr::FbQcMsg& msg) {
   const smr::Certificate& fqc = msg.fqc;
-  if (fqc.kind != smr::CertKind::kFallback || fqc.height != fb_.chain_len) return;
-  if (!cached_verify(fqc)) return;
+  if (fqc.kind != smr::CertKind::kFallback || fqc.height != fb_.chain_len) {
+    blame_cert(from);  // honest replicas only multicast well-formed top f-QCs
+    return;
+  }
+  if (!cached_verify(fqc)) {
+    blame_cert(from);  // forged certificate — the adoption attack vector
+    return;
+  }
   if (fqc.view != v_cur_) return;
   note_fallback_qc(fqc, from);
 
@@ -588,6 +684,15 @@ void FallbackReplica::maybe_trigger_election() {
   const std::size_t count =
       fb_.adoption_enabled() ? top_fqc_signers_.size() : top_fqc_proposers_.size();
   if (count < params().quorum()) return;
+  // Certificate relay (DESIGN.md §13): once the coin-QC itself has been
+  // observed, our share can no longer contribute to assembling it — the
+  // aggregate certificate supersedes the share traffic.
+  if (config().cert_relay && smr::relay_active(params().n) &&
+      coin_for(v_cur_) != nullptr) {
+    ++stats_.coin_shares_suppressed;
+    sent_coin_share_view_ = v_cur_;
+    return;
+  }
   sent_coin_share_view_ = v_cur_;
   smr::CoinShareMsg msg;
   msg.view = v_cur_;
@@ -612,7 +717,30 @@ void FallbackReplica::handle_coin_share(ReplicaId from, const smr::CoinShareMsg&
 
 void FallbackReplica::process_coin(const smr::CoinQC& coin) {
   const bool fresh = install_coin(coin);
-  if (fresh) multicast(smr::CoinQcMsg{coin});  // Exit Fallback: forward the coin-QC
+  if (fresh) {
+    // Exit Fallback: forward the coin-QC. With certificate relay on, only
+    // the view's f+1 designated relayers multicast it — shares were
+    // multicast, so every honest replica assembles the coin-QC itself;
+    // the relay only shaves latency for stragglers, and f+1 designated
+    // relayers always include an honest one (DESIGN.md §13).
+    if (!config().cert_relay ||
+        smr::is_coin_relayer(id(), coin.view, params().n, params().f)) {
+      smr::CoinQcMsg relay{coin, std::nullopt};
+      if (config().cert_relay && smr::relay_active(params().n) &&
+          frontier_.view() == coin.view) {
+        // Piggyback the elected leader's best f-QC so a straggler exits
+        // with the same endorsed lock without waiting for the f-QC to
+        // arrive separately.
+        const ReplicaId leader = coin.leader(crypto_sys());
+        if (const smr::Certificate* best = frontier_.best_of(leader)) {
+          relay.leader_best = *best;
+        }
+      }
+      multicast(std::move(relay));
+    } else {
+      ++stats_.coin_relays_suppressed;
+    }
+  }
   if (coin.view < v_cur_) return;
 
   // ---- Exit Fallback (Fig 2) ----
@@ -643,8 +771,8 @@ void FallbackReplica::process_coin(const smr::CoinQC& coin) {
   // Execute Lock on the highest (now endorsed) f-QC of the elected leader
   // that we recorded during the fallback.
   if (was_in_this_fallback) {
-    auto it = best_fqc_by_proposer_.find(leader);
-    if (it != best_fqc_by_proposer_.end()) lock_full(it->second, leader);
+    const smr::Certificate* best = frontier_.best_of(leader);
+    if (best != nullptr) lock_full(*best, leader);
   }
 
   LOG_DEBUG("replica %u: exited fallback of view %llu, leader %u, new view %llu", id(),

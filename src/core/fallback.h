@@ -21,6 +21,7 @@
 #include <tuple>
 
 #include "core/replica_base.h"
+#include "smr/fallback_frontier.h"
 
 namespace repro::core {
 
@@ -52,6 +53,17 @@ class FallbackReplica final : public ReplicaBase {
   bool in_fallback() const override { return fallback_mode_; }
 
   const FallbackParams& fallback_params() const { return fb_; }
+
+  /// This view's certified-chain bookkeeping (tests / introspection).
+  const smr::FallbackFrontier& frontier() const { return frontier_; }
+
+  /// Quorum-assembly footprint: the four share pools, the per-view
+  /// frontier and the Lagrange memo (the repro_share_pool_bytes gauge).
+  std::size_t share_pool_bytes() const override {
+    return view_timeout_shares_.approx_bytes() + fb_votes_.approx_bytes() +
+           coin_shares_.approx_bytes() + votes_.approx_bytes() + frontier_.approx_bytes() +
+           lagrange_bytes();
+  }
 
  protected:
   std::uint32_t commit_len() const override { return fb_.chain_len; }
@@ -102,6 +114,10 @@ class FallbackReplica final : public ReplicaBase {
   void propose_fblock(FallbackHeight height, const smr::Certificate& parent,
                       const std::optional<smr::FallbackTC>& ftc);
 
+  /// kForgeFbQc behaviour: advertise forged/equivocating f-QCs on every
+  /// fallback entry (the Byzantine adoption attack).
+  void forge_fbqc_attack(View view);
+
   void maybe_trigger_election();
 
   /// Coin-QCs needed as endorsement evidence for `cert`, to attach.
@@ -124,7 +140,9 @@ class FallbackReplica final : public ReplicaBase {
   // Per-entered-view fallback state (reset in enter_fallback).
   std::vector<Round> r_vote_bar_;           ///< r̄_vote[j]
   std::vector<FallbackHeight> h_vote_bar_;  ///< h̄_vote[j]
-  std::map<ReplicaId, smr::Certificate> best_fqc_by_proposer_;
+  /// Certified-chain bookkeeping: per-owner best f-QC (Exit-Fallback lock,
+  /// adoption, certificate relay) and the view's certified frontier.
+  smr::FallbackFrontier frontier_;
   std::map<FallbackHeight, smr::BlockId> own_fblock_;  ///< our chain, by height
   FallbackHeight own_height_ = 0;  ///< highest height we have proposed
   std::set<ReplicaId> top_fqc_proposers_;  ///< 3-chain election counting

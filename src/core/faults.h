@@ -40,6 +40,13 @@ enum class FaultKind : std::uint8_t {
   /// shares would occupy honest signers' accumulator slots and get the
   /// honest ids banned, wedging quorums forever.
   kImpersonateShares,
+  /// Advertises forged fallback-QCs for adoption: on every fallback entry
+  /// it multicasts FbQcMsg certificates for fabricated f-blocks — two
+  /// *different* fakes to the two halves of the network (equivocation) —
+  /// with garbage threshold signatures. Stresses the adoption rule's
+  /// verification gate: honest replicas must reject (cached_verify fails),
+  /// blame the sender, and never adopt or count the fake toward election.
+  kForgeFbQc,
 };
 
 struct FaultSpec {
@@ -53,6 +60,7 @@ struct FaultSpec {
   bool proposes_invalid_txns() const { return kind == FaultKind::kInvalidTxns; }
   bool sends_bad_shares() const { return kind == FaultKind::kBadShares; }
   bool impersonates_shares() const { return kind == FaultKind::kImpersonateShares; }
+  bool forges_fbqc() const { return kind == FaultKind::kForgeFbQc; }
 };
 
 }  // namespace repro::core

@@ -124,6 +124,19 @@ struct ReplicaStats {
   /// nonzero count under honest load means peers are re-pulling faster
   /// than batch_pull_timeout_us, i.e. the cooldown is misconfigured.
   obs::Counter batch_pushes_suppressed;
+  /// Scale-out fallback optimizations (DESIGN.md §13): fallback votes
+  /// suppressed because the chain already held a completed f-QC at that
+  /// position (cert_relay); coin-QC re-multicasts skipped by
+  /// non-designated relayers (cert_relay); and certificates whose
+  /// threshold signature failed verification — rejected, with per-sender
+  /// blame recorded (the Byzantine-adoption defense).
+  obs::Counter fb_votes_thinned;
+  obs::Counter coin_relays_suppressed;
+  /// Coin shares not sent because the assembled coin-QC was already
+  /// observed when our election triggered — the aggregate certificate
+  /// supersedes the share (cert_relay).
+  obs::Counter coin_shares_suppressed;
+  obs::Counter bad_certs_rejected;
 };
 
 /// Walk every ReplicaStats counter with its stable metric name. Single
@@ -155,6 +168,10 @@ void for_each_counter(const ReplicaStats& s, Fn&& fn) {
   fn("repro_batch_ref_hits_total", &s.batch_ref_hits);
   fn("repro_batch_ref_misses_total", &s.batch_ref_misses);
   fn("repro_batch_pushes_suppressed_total", &s.batch_pushes_suppressed);
+  fn("repro_fb_votes_thinned_total", &s.fb_votes_thinned);
+  fn("repro_coin_relays_suppressed_total", &s.coin_relays_suppressed);
+  fn("repro_coin_shares_suppressed_total", &s.coin_shares_suppressed);
+  fn("repro_bad_certs_rejected_total", &s.bad_certs_rejected);
 }
 
 /// Attach every counter of `s` to `reg` under a replica="<id>" label.
@@ -211,6 +228,11 @@ class IReplica {
   virtual View current_view() const = 0;
   virtual bool in_fallback() const = 0;
   virtual const ReplicaStats& stats() const = 0;
+
+  /// Approximate bytes held by this replica's threshold-share pools
+  /// (quorum-assembly accumulators). Feeds the repro_share_pool_bytes
+  /// gauge; protocols without share pools report 0.
+  virtual std::size_t share_pool_bytes() const { return 0; }
 };
 
 }  // namespace repro::core

@@ -99,11 +99,22 @@ class ReplicaBase : public IReplica {
   /// The content-addressed batch cache (pipelined proposal path).
   const smr::BatchStore& batch_store() const { return batch_store_; }
 
+  /// Per-sender blame counters for relayed certificates that failed
+  /// verification (forged f-QC / coin-QC advertisements) — public so
+  /// tests and operators can attribute the flood to the misbehaving
+  /// replica. Indexed by sender id; may be shorter than n.
+  const std::vector<std::uint64_t>& cert_blame() const { return cert_blame_; }
+
   /// Model client ingress for adaptive batch sizing: `bytes` of
   /// transactions queued at this replica's mempool (benches / harness
   /// drive this; without calls the backlog stays 0 and adaptive sizing
   /// keeps batches at the base size).
   void offer_transactions(std::size_t bytes) { mempool_.offer(bytes); }
+
+  /// Footprint of the Lagrange-coefficient memo (lazy, LRU-bounded).
+  /// Protocol subclasses fold this into share_pool_bytes() so the gauge
+  /// covers all quorum-assembly state (DESIGN.md §13.4).
+  std::size_t lagrange_bytes() const { return lagrange_.approx_bytes(); }
 
  protected:
   /// Commit-rule chain length: 3 for the paper's base protocols, 2 for
@@ -193,6 +204,15 @@ class ReplicaBase : public IReplica {
 
   /// Per-signer blame counters for rejected shares (flood diagnosis).
   const std::vector<std::uint64_t>& share_blame() const { return share_stats_.blame; }
+
+  /// Charge `from` for a relayed certificate that failed cached_verify
+  /// (forged f-QC / coin-QC advertisement). Senders are envelope-
+  /// authenticated, so the blame is attributable.
+  void blame_cert(ReplicaId from) {
+    if (cert_blame_.size() <= from) cert_blame_.resize(from + 1, 0);
+    ++cert_blame_[from];
+    ++stats_.bad_certs_rejected;
+  }
 
   /// Fault injection for kBadShares: corrupt every share this replica
   /// emits (flip the low bit of the field value — always invalid, since
@@ -433,6 +453,8 @@ class ReplicaBase : public IReplica {
   std::shared_ptr<smr::DecodeCache> dcache_;
   crypto::LagrangeCache lagrange_;
   smr::ShareStats share_stats_;
+  /// Per-sender counts of relayed certificates that failed verification.
+  std::vector<std::uint64_t> cert_blame_;
 
   /// Sign + encode once; shared by send/multicast.
   SharedBytes encode_signed(smr::Message& msg);

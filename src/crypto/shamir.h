@@ -55,6 +55,20 @@ class LagrangeCache {
   std::uint64_t misses() const { return misses_; }
   std::size_t size() const { return entries_.size(); }
 
+  /// Approximate heap footprint. Entries are created lazily on cache
+  /// miss and LRU-bounded by `capacity`, so the worst case at committee
+  /// size n is capacity * (2f+1) * (sizeof(ReplicaId) + sizeof(Fp)) plus
+  /// index overhead — ~160 KiB per replica at n=300 with the default 64
+  /// entries, reached only after 64 distinct signer sets actually combine.
+  std::size_t approx_bytes() const {
+    std::size_t total = 0;
+    for (const auto& e : entries_) {
+      total += sizeof(Entry) + e.ids.capacity() * sizeof(ReplicaId) + e.coeffs.capacity() * sizeof(Fp);
+      total += e.ids.capacity() * sizeof(ReplicaId) + 64;  // index key copy + node
+    }
+    return sizeof(LagrangeCache) + total;
+  }
+
  private:
   struct Entry {
     std::vector<ReplicaId> ids;

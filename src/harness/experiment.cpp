@@ -59,8 +59,12 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
     }
     ctx.decode_cache = decode_cache_;
     if (cfg_.trace_capacity > 0) {
-      traces_.push_back(std::make_shared<obs::TraceRing>(cfg_.trace_capacity,
-                                                         /*wall_clock=*/false));
+      std::size_t cap = cfg_.trace_capacity;
+      if (cfg_.trace_budget_bytes > 0) {
+        cap = std::min(cap, std::max<std::size_t>(1, cfg_.trace_budget_bytes /
+                                                         sizeof(obs::TraceEvent)));
+      }
+      traces_.push_back(std::make_shared<obs::TraceRing>(cap, /*wall_clock=*/false));
       ctx.trace = traces_.back();
     }
     ctx.on_commit = [this](const smr::CommitRecord& rec) {
@@ -83,6 +87,17 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
                               [this, id] { return replicas_[id]->current_view(); });
     registry_.attach_gauge_fn("repro_current_round", labels,
                               [this, id] { return replicas_[id]->current_round(); });
+    // Memory audit gauges (DESIGN.md §13.4): quorum-assembly state and the
+    // preallocated trace-ring commitment, per replica.
+    registry_.attach_gauge_fn("repro_share_pool_bytes", labels, [this, id] {
+      return static_cast<std::uint64_t>(replicas_[id]->share_pool_bytes());
+    });
+    if (ctx.trace) {
+      auto ring = ctx.trace;
+      registry_.attach_gauge_fn("repro_trace_ring_bytes", labels, [ring] {
+        return static_cast<std::uint64_t>(ring->approx_bytes());
+      });
+    }
     net_->register_handler(id, [this, id](ReplicaId from, const Bytes& payload) {
       replicas_[id]->on_message(from, payload);
     });

@@ -67,6 +67,14 @@ struct ExperimentConfig {
   /// Structured-trace ring capacity per replica; 0 disables tracing (the
   /// replicas then skip event recording entirely).
   std::size_t trace_capacity = 0;
+
+  /// Optional per-replica byte budget for the trace ring (0 = no clamp).
+  /// Rings preallocate capacity * sizeof(TraceEvent) up front, which at
+  /// n=300 with a 2^18-event ring would commit ~4 GiB across replicas;
+  /// scale sweeps set a budget and the harness clamps the ring capacity
+  /// to budget / sizeof(TraceEvent). Opt-in so seeded trace pins keep
+  /// their exact ring size (ring overwrite changes which events survive).
+  std::size_t trace_budget_bytes = 0;
 };
 
 /// Result of the pairwise ledger prefix-consistency check.

@@ -87,6 +87,11 @@ class TraceRing {
   std::uint64_t recorded() const;  ///< total pushes, including overwritten
   std::uint64_t dropped() const;   ///< pushes that evicted an older event
 
+  /// Bytes reserved by the ring (capacity is preallocated up front, so
+  /// this is the commitment, not the fill level). Feeds the
+  /// repro_trace_ring_bytes gauge and the n=300 memory budget.
+  std::size_t approx_bytes() const { return sizeof(TraceRing) + capacity_ * sizeof(TraceEvent); }
+
  private:
   const std::size_t capacity_;
   const bool wall_clock_;

@@ -113,7 +113,11 @@ void encode_body(Encoder& enc, const CoinShareMsg& m) {
   encode_partial(enc, m.share);
 }
 
-void encode_body(Encoder& enc, const CoinQcMsg& m) { m.qc.encode(enc); }
+void encode_body(Encoder& enc, const CoinQcMsg& m) {
+  m.qc.encode(enc);
+  enc.bool_(m.leader_best.has_value());
+  if (m.leader_best) m.leader_best->encode(enc);
+}
 
 void encode_body(Encoder& enc, const BlockRequestMsg& m) {
   encode_block_id(enc, m.block_id);
@@ -263,7 +267,15 @@ std::optional<CoinShareMsg> decode_coin_share(Decoder& dec) {
 std::optional<CoinQcMsg> decode_coin_qc(Decoder& dec) {
   auto qc = CoinQC::decode(dec);
   if (!qc) return std::nullopt;
-  return CoinQcMsg{*qc};
+  auto has_best = dec.bool_();
+  if (!has_best) return std::nullopt;
+  CoinQcMsg msg{*qc, std::nullopt};
+  if (*has_best) {
+    auto best = Certificate::decode(dec);
+    if (!best) return std::nullopt;
+    msg.leader_best = *best;
+  }
+  return msg;
 }
 
 std::optional<BlockRequestMsg> decode_block_request(Decoder& dec) {
@@ -339,7 +351,9 @@ std::size_t body_size(const FbProposalMsg& m) {
 std::size_t body_size(const FbVoteMsg&) { return 32 + 8 + 8 + 4 + 4 + kPartialSize; }
 std::size_t body_size(const FbQcMsg&) { return kCertSize; }
 std::size_t body_size(const CoinShareMsg&) { return 8 + kPartialSize; }
-std::size_t body_size(const CoinQcMsg&) { return kThresholdCertSize; }
+std::size_t body_size(const CoinQcMsg& m) {
+  return kThresholdCertSize + 1 + (m.leader_best ? kCertSize : 0);
+}
 std::size_t body_size(const BlockRequestMsg&) { return 32 + 4; }
 std::size_t body_size(const BlockResponseMsg& m) {
   std::size_t s = 4;

@@ -105,6 +105,12 @@ struct CoinShareMsg {
 
 struct CoinQcMsg {
   CoinQC qc;
+  /// Certificate relay (DESIGN.md §13): the sender's highest f-QC of the
+  /// elected leader's chain, piggybacked so stragglers exit the fallback
+  /// holding the same endorsed lock without a separate f-QC round-trip.
+  /// Empty on the flags-off wire (and always optional — receivers verify
+  /// it like any other delivered certificate).
+  std::optional<Certificate> leader_best;
 };
 
 /// DiemBFT-style block retrieval: certificates can reference blocks a

@@ -93,6 +93,16 @@ class ShareAccumulator {
   /// True once the combined signature has been handed out.
   bool done() const { return done_; }
 
+  /// Approximate heap footprint (the repro_share_pool_bytes audit). The
+  /// per-node constants cover the red-black-tree bookkeeping of the slot
+  /// map / ban set; exactness doesn't matter, scaling with n does: one
+  /// accumulator buffers up to n slots, so at n=300 a single in-flight
+  /// quorum costs ~21 KiB and the pool caps below bound the total.
+  std::size_t approx_bytes() const {
+    return sizeof(ShareAccumulator) + slots_.size() * (sizeof(ReplicaId) + sizeof(Slot) + 48) +
+           banned_.size() * (sizeof(ReplicaId) + 40);
+  }
+
  private:
   std::optional<crypto::ThresholdSig> try_assemble(const ShareEnv& env);
 
@@ -120,6 +130,7 @@ class SharePool {
                                           const crypto::PartialSig& share, MakeMsg&& make_msg) {
     auto it = pool_.find(key);
     if (it == pool_.end()) {
+      if (max_entries_ != 0 && pool_.size() >= max_entries_) pool_.erase(pool_.begin());
       it = pool_.emplace(key, ShareAccumulator(*env.scheme, make_msg())).first;
     }
     return it->second.add(env, share);
@@ -149,8 +160,27 @@ class SharePool {
 
   std::size_t size() const { return pool_.size(); }
 
+  /// Hard cap on live accumulators (0 = unbounded). The periodic
+  /// round/view pruning already bounds honest load; the cap is the
+  /// Byzantine-flood backstop that turns "bounded in expectation" into a
+  /// provable per-replica byte budget (DESIGN.md §13.4): when a new key
+  /// would exceed it, the lowest-ordered entry is evicted. Set it well
+  /// above the pruning window so honest runs never touch it — an evicted
+  /// live quorum would have to re-collect its shares.
+  void set_max_entries(std::size_t cap) { max_entries_ = cap; }
+
+  /// Approximate heap footprint across all accumulators (the
+  /// repro_share_pool_bytes gauge). Walks the pool — metrics snapshots
+  /// are off the hot path.
+  std::size_t approx_bytes() const {
+    std::size_t total = 0;
+    for (const auto& [key, acc] : pool_) total += sizeof(Key) + 48 + acc.approx_bytes();
+    return total;
+  }
+
  private:
   std::map<Key, ShareAccumulator> pool_;
+  std::size_t max_entries_ = 0;
 };
 
 }  // namespace repro::smr

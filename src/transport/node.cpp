@@ -578,16 +578,27 @@ void TcpNode::on_frame(ReplicaId from, Bytes payload) {
       // steady-state trickle of one small vote or proposal per wakeup,
       // where the futex handoff dwarfs the two SHA-256s it offloads —
       // deliver inline on the node thread. Only legal for an idle sender
-      // (same per-sender-FIFO argument as the cache bypass below). Every
-      // 256th eligible frame still goes through the pool as a probe so
-      // the handoff EWMA tracks the current regime; a multicast burst
-      // marks the sender busy, piles its frames into the pool via the
-      // ordering rule, and the refreshed EWMAs flip the route back.
+      // (same per-sender-FIFO argument as the cache bypass below). A
+      // slowly backed-off fraction of eligible frames (1/512 down to
+      // 1/8192) still goes through the pool as probes so the handoff
+      // EWMA tracks the current regime; a multicast burst marks the
+      // sender busy, piles its frames into the pool via the ordering
+      // rule (refreshing the EWMAs without any probe), and the flipped
+      // decision resets the probe cadence.
       const bool adaptive = verify_pool_->prefers_inline();
-      if (adaptive && (++bypass_probe_ & 0xFFu) != 0) {
-        network_->stats().verify_inline_frames += 1;
-        if (replica_) replica_->on_message_uncached(from, payload);
-        return;
+      if (adaptive) {
+        const std::uint32_t mask = (1u << probe_shift_) - 1;
+        if ((++bypass_probe_ & mask) != 0) {
+          network_->stats().verify_inline_frames += 1;
+          if (replica_) replica_->on_message_uncached(from, payload);
+          return;
+        }
+        // This frame is a probe: it pays the handoff so the EWMA stays
+        // honest. Each probe that leaves the bypass engaged halves the
+        // probe rate — steady trickle converges to near-zero probe cost.
+        if (probe_shift_ < kProbeShiftMax) ++probe_shift_;
+      } else {
+        probe_shift_ = kProbeShiftBase;
       }
       // Idle sender: probe the decode cache. A hit with this sender
       // already marked verified makes delivery a pure cache lookup, so the

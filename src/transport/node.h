@@ -235,15 +235,26 @@ class VerifyPool {
   /// switch on a loaded box, wake-pipe — costs more than the two SHA-256s
   /// it offloads, and the node should verify inline; under multicast
   /// bursts the amortized handoff gets cheap and pooling wins again. The
-  /// caller keeps routing ~1/256 of eligible frames through the pool as
+  /// caller keeps routing ~1/512 of eligible frames through the pool as
   /// probes so both EWMAs track the current regime.
   bool prefers_inline() const {
     if (verify_frames_measured_.load(std::memory_order_relaxed) < kCalibrationFrames ||
         handoff_frames_measured_.load(std::memory_order_relaxed) < kCalibrationFrames) {
       return false;
     }
-    return verify_ns_ewma_.load(std::memory_order_relaxed) <
-           handoff_ns_ewma_.load(std::memory_order_relaxed);
+    // Hysteresis: the two EWMAs sit close together exactly in the mixed
+    // regimes (steady trickle with occasional bursts), where a raw
+    // comparison flaps — and every flap to "pool" routes a full read
+    // burst through the handoff before the refreshed EWMAs flip it back.
+    // Engage the bypass only when verification is clearly cheaper (10%
+    // under the handoff), disengage only when clearly dearer (10% over),
+    // and hold the previous route in between.
+    const std::uint64_t v = verify_ns_ewma_.load(std::memory_order_relaxed);
+    const std::uint64_t h = handoff_ns_ewma_.load(std::memory_order_relaxed);
+    bool engaged = inline_engaged_.load(std::memory_order_relaxed);
+    if (engaged ? v * 10 > h * 11 : v * 10 < h * 9) engaged = !engaged;
+    inline_engaged_.store(engaged, std::memory_order_relaxed);
+    return engaged;
   }
 
   /// Current EWMA estimates, nanoseconds per frame (0 until calibrated).
@@ -296,6 +307,8 @@ class VerifyPool {
   /// heuristic, not protocol logic). alpha = 1/8.
   std::atomic<std::uint64_t> verify_ns_ewma_{0};   ///< per-frame decode+verify
   std::atomic<std::uint64_t> handoff_ns_ewma_{0};  ///< per-frame submit->drain
+  /// Sticky routing decision for the prefers_inline hysteresis band.
+  mutable std::atomic<bool> inline_engaged_{false};
   std::atomic<std::uint64_t> verify_frames_measured_{0};
   std::atomic<std::uint64_t> handoff_frames_measured_{0};
   obs::Histogram batch_size_;
@@ -439,9 +452,19 @@ class TcpNode {
   /// sender's channel. Indexed by ReplicaId.
   std::vector<std::uint32_t> verify_pending_by_sender_;
   /// Frames routed inline by the adaptive bypass since the last probe;
-  /// every 256th eligible frame goes through the pool instead, keeping
-  /// the handoff EWMA fresh while the bypass is engaged.
+  /// every 2^probe_shift_-th eligible frame goes through the pool
+  /// instead, keeping the handoff EWMA fresh while the bypass is engaged.
   std::uint32_t bypass_probe_ = 0;
+  /// Adaptive probe cadence: starts at 1/512 and doubles after every
+  /// probe that leaves the bypass engaged, up to 1/8192; any disengage
+  /// resets it. A probe is not free — on a busy (or single-core) box the
+  /// worker wake-up preempts the node thread mid-sweep — and it is only
+  /// *needed* when traffic is all trickle: a genuine multicast burst
+  /// marks senders busy, which routes frames through the pool via the
+  /// ordering rule and refreshes the handoff EWMA without any probe.
+  std::uint32_t probe_shift_ = kProbeShiftBase;
+  static constexpr std::uint32_t kProbeShiftBase = 9;   // 1/512
+  static constexpr std::uint32_t kProbeShiftMax = 13;   // 1/8192
   /// Loopback deliveries queued by TcpNetwork::send(to == self), drained
   /// once per poll iteration — same deferred semantics as the simulator's
   /// self-delivery event, without an executor heap entry and closure

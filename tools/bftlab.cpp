@@ -35,10 +35,17 @@ void usage() {
       "  --seed X       RNG seed                          (default 1)\n"
       "  --batch B      txn batch bytes per block         (default 0)\n"
       "  --timeout MS   round timer, milliseconds         (default 400)\n"
+      "  --async-mean MS  mean delay for async/psync scenarios, ms\n"
+      "                 (default 2000; cap tracks at 4x the mean)\n"
       "  --faults LIST  comma-separated, applied to the last replicas:\n"
-      "                 crash | mute | equiv | withhold | spam | badshare | impersonate\n"
+      "                 crash | mute | equiv | withhold | spam | badshare |\n"
+      "                 impersonate | forgeqc\n"
       "  --eager        verify every threshold share on arrival (default is\n"
       "                 optimistic combine-then-verify accumulation)\n"
+      "  --no-adopt     disable the strict higher-position adoption rule in\n"
+      "                 the ace baseline (ProtocolConfig::fb_adopt = false)\n"
+      "  --no-relay     disable certificate relay (designated coin-QC\n"
+      "                 relayers + redundant-vote suppression; cert_relay = false)\n"
       "  --wal          enable write-ahead logs\n"
       "  --quiet        metrics only, no banner\n"
       "  --trace-out F  write the merged NDJSON event trace to F\n"
@@ -73,8 +80,31 @@ bool parse_fault(const std::string& s, core::FaultKind* out) {
   else if (s == "spam") *out = core::FaultKind::kTimeoutSpam;
   else if (s == "badshare") *out = core::FaultKind::kBadShares;
   else if (s == "impersonate") *out = core::FaultKind::kImpersonateShares;
+  else if (s == "forgeqc") *out = core::FaultKind::kForgeFbQc;
   else return false;
   return true;
+}
+
+/// Human names for the MsgType tags (smr/messages.h), for the breakdown.
+const char* msg_type_name(std::size_t tag) {
+  switch (tag) {
+    case 1: return "proposal";
+    case 2: return "vote";
+    case 3: return "diem-timeout";
+    case 4: return "diem-tc";
+    case 5: return "fb-timeout";
+    case 6: return "fb-proposal";
+    case 7: return "fb-vote";
+    case 8: return "fb-qc";
+    case 9: return "coin-share";
+    case 10: return "coin-qc";
+    case 11: return "block-request";
+    case 12: return "block-response";
+    case 13: return "batch";
+    case 14: return "batch-pull";
+    case 15: return "batch-push";
+    default: return "?";
+  }
 }
 
 }  // namespace
@@ -112,8 +142,15 @@ int main(int argc, char** argv) {
       cfg.pcfg.batch_bytes = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--timeout") {
       cfg.pcfg.base_timeout_us = static_cast<SimTime>(std::atoll(next())) * 1'000;
+    } else if (arg == "--async-mean") {
+      cfg.async_mean = static_cast<SimTime>(std::atoll(next())) * 1'000;
+      cfg.async_max = cfg.async_mean * 4;
     } else if (arg == "--eager") {
       cfg.pcfg.lazy_share_verify = false;
+    } else if (arg == "--no-adopt") {
+      cfg.pcfg.fb_adopt = false;
+    } else if (arg == "--no-relay") {
+      cfg.pcfg.cert_relay = false;
     } else if (arg == "--wal") {
       cfg.enable_wal = true;
     } else if (arg == "--quiet") {
@@ -181,8 +218,12 @@ int main(int argc, char** argv) {
   std::uint64_t vhits = 0, vmiss = 0;
   std::uint64_t dhits = 0, dmiss = 0;
   std::uint64_t sh_verified = 0, sh_deferred = 0, sh_opt = 0, sh_fb = 0, sh_bad = 0;
+  std::uint64_t thinned = 0, relays_skipped = 0, bad_certs = 0;
   for (ReplicaId id = 0; id < cfg.n; ++id) {
     if (!exp.is_honest(id)) continue;
+    thinned += exp.replica(id).stats().fb_votes_thinned;
+    relays_skipped += exp.replica(id).stats().coin_relays_suppressed;
+    bad_certs += exp.replica(id).stats().bad_certs_rejected;
     fallbacks += exp.replica(id).stats().fallbacks_entered;
     fb_exits += exp.replica(id).stats().fallbacks_exited;
     fb_time += exp.replica(id).stats().fallback_time_total_us;
@@ -208,6 +249,20 @@ int main(int argc, char** argv) {
   std::printf("total messages     : %llu (%llu bytes)\n",
               static_cast<unsigned long long>(st.messages),
               static_cast<unsigned long long>(st.bytes));
+  for (std::size_t tag = 0; tag < st.messages_by_type.size(); ++tag) {
+    const std::uint64_t m = st.messages_by_type[tag];
+    if (m == 0) continue;
+    std::printf("  %-16s : %llu msgs (%llu bytes)\n", msg_type_name(tag),
+                static_cast<unsigned long long>(m),
+                static_cast<unsigned long long>(st.bytes_by_type[tag]));
+  }
+  if (thinned + relays_skipped + bad_certs > 0) {
+    std::printf("scale-out          : %llu votes thinned, %llu coin relays skipped, "
+                "%llu bad certs rejected\n",
+                static_cast<unsigned long long>(thinned),
+                static_cast<unsigned long long>(relays_skipped),
+                static_cast<unsigned long long>(bad_certs));
+  }
   std::printf("self-delivery      : %llu msgs (%llu bytes), excluded from totals\n",
               static_cast<unsigned long long>(st.self_messages),
               static_cast<unsigned long long>(st.self_bytes));

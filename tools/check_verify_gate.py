@@ -15,10 +15,15 @@ modulo a slack factor for shared-runner noise, on two row families:
     cold pool every frame paid a futex round trip that dwarfed the two
     SHA-256s, so vt2 ran far below vt0 (BENCH_pr6: 1175 vs 1917 at n=10).
     The adaptive bypass (VerifyPool::prefers_inline) must keep vt2 within
-    the slack of vt0 in this regime too.
+    the slack of vt0 in this regime too. These rows get a tighter slack
+    than the multicast-load family: the bench reports the median of three
+    runs per row, and the hysteresis + 1/512 probe rate leave the bypass
+    within ~2-3% of inline, so a 10% allowance would mask exactly the
+    EWMA-flap regression seen at n=7 in BENCH_pr7 (5431 vs 5897 = 0.92).
 
-Usage: check_verify_gate.py BENCH.json [slack]
-  slack: vt2 must be >= slack * vt0 (default 0.9, i.e. 10% slack).
+Usage: check_verify_gate.py BENCH.json [cluster_slack] [multicast_slack]
+  cluster_slack:   tcp_cluster rows, vt2 >= slack * vt0 (default 0.97)
+  multicast_slack: multicast-load rows              (default 0.9)
 """
 import json
 import sys
@@ -26,7 +31,8 @@ import sys
 
 def main() -> int:
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pr6.json"
-    slack = float(sys.argv[2]) if len(sys.argv) > 2 else 0.9
+    cluster_slack = float(sys.argv[2]) if len(sys.argv) > 2 else 0.97
+    multicast_slack = float(sys.argv[3]) if len(sys.argv) > 3 else 0.9
 
     # Last row per key wins (the file accumulates across CI runs of
     # several benches; the freshest numbers are the ones that belong to
@@ -52,11 +58,11 @@ def main() -> int:
         print(f"gate: missing multicast-load rows (have vt={sorted(multicast_by_vt)}) in {path}")
         return 1
     vt0, vt2 = multicast_by_vt[0], multicast_by_vt[2]
-    floor = slack * vt0
+    floor = multicast_slack * vt0
     verdict = "PASS" if vt2 >= floor else "FAIL"
     print(
         f"gate: multicast-load blocks/s: vt0={vt0:.0f} vt2={vt2:.0f} "
-        f"(floor {slack:.2f}*vt0={floor:.0f}) -> {verdict}"
+        f"(floor {multicast_slack:.2f}*vt0={floor:.0f}) -> {verdict}"
     )
     if vt2 < floor:
         print("gate: off-thread verification is slower than inline again — "
@@ -74,11 +80,11 @@ def main() -> int:
             continue
         vt0 = cluster_by_n_vt[(n, 0)]
         vt2 = cluster_by_n_vt[(n, 2)]
-        floor = slack * vt0
+        floor = cluster_slack * vt0
         verdict = "PASS" if vt2 >= floor else "FAIL"
         print(
             f"gate: tcp_cluster n={n} blocks/s: vt0={vt0:.0f} vt2={vt2:.0f} "
-            f"(floor {slack:.2f}*vt0={floor:.0f}) -> {verdict}"
+            f"(floor {cluster_slack:.2f}*vt0={floor:.0f}) -> {verdict}"
         )
         if vt2 < floor:
             print(f"gate: n={n}: the adaptive verify bypass is not engaging — "
