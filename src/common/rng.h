@@ -56,10 +56,12 @@ class Rng {
     return result;
   }
 
-  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
-  /// avoid modulo bias.
+  /// Uniform in [0, bound). Uses rejection sampling to avoid modulo
+  /// bias. An empty range (bound == 0) yields 0 — schedule generators
+  /// legitimately draw from ranges that can be empty, and `-0 % 0`
+  /// would otherwise divide by zero.
   std::uint64_t uniform(std::uint64_t bound) {
-    REPRO_ASSERT(bound > 0);
+    if (bound == 0) return 0;
     const std::uint64_t threshold = -bound % bound;
     for (;;) {
       const std::uint64_t r = next();

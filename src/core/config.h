@@ -114,6 +114,16 @@ struct ProtocolConfig {
   /// from the multicast shares; the relay only serves stragglers). Off =
   /// vote-always / relay-everywhere, byte-identical to earlier releases.
   bool cert_relay = true;
+
+  /// TEST-ONLY planted bug: re-opens the deferred-vote hole the pipelined
+  /// proposal path had before its review fixes — blocks stored through
+  /// the catch-up channel (BlockResponseMsg) become vote candidates as if
+  /// they had arrived as authenticated proposals. With a kGhostChain
+  /// adversary this lets forged ancestry get certified and committed,
+  /// diverging honest ledgers. Exists so the chaos fuzzer's planted-bug
+  /// test can prove it detects and shrinks a real safety violation.
+  /// Never enable outside that test.
+  bool unsafe_trust_catchup_blocks = false;
 };
 
 /// The predefined leader sequence L_1, L_2, ... (rounds are 1-based).

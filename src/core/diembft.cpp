@@ -7,6 +7,7 @@ namespace repro::core {
 void DiemBftReplica::start() {
   if (fault().crashed()) return;
   recover_from_wal();
+  resume_batch_recovery();  // re-pull batches in flight at crash time
   // Initial state per Fig 1: r_vote = 0, rank_lock = (0,0), r_cur = 1,
   // qc_high = genesis QC; enter round 1.
   arm_timer();
@@ -15,7 +16,9 @@ void DiemBftReplica::start() {
 }
 
 void DiemBftReplica::spam_timeouts() {
-  if (halted()) return;
+  // The loop dies when the fault is cleared or flipped mid-run
+  // (set_fault); on_fault_changed restarts it on a fresh spam edge.
+  if (halted() || !fault().spams_timeouts()) return;
   smr::DiemTimeoutMsg msg;
   msg.round = r_cur_;
   msg.round_share = maybe_corrupt(
@@ -122,7 +125,8 @@ void DiemBftReplica::arm_timer() {
 }
 
 void DiemBftReplica::on_timer_fired(Round round) {
-  if (halted() || round != r_cur_) return;  // dead instance or stale timer
+  // Dead instance, (dynamically) crashed replica, or stale timer.
+  if (halted() || fault().crashed() || round != r_cur_) return;
   timer_ = sim::kInvalidEvent;
   // "Upon the timer T_r expires, the replica stops voting for round r and
   // multicasts a timeout message <{r}_i, qc_high>_i."
@@ -148,6 +152,7 @@ void DiemBftReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
   const smr::Certificate parent = block.parent;
   const Round r = block.round;
   const smr::BlockId id_of_block = block.id;
+  maybe_forge_ghost_chain(block);  // kGhostChain only; no-op when honest
   // This block passed proposal authentication (signed envelope from the
   // round's leader): it — and only it — may earn this round's vote, even
   // when the vote is deferred until its batch resolves.
@@ -170,7 +175,8 @@ void DiemBftReplica::try_vote(const smr::Block& block) {
   // Proposal authentication: blocks that entered the store via catch-up
   // (BlockResponseMsg) never passed handle_proposal's leader check, and
   // the deferred retry below must not vote on them.
-  if (block.proposer != leader_of(r) || !vote_candidate(block)) return;
+  if (block.proposer != leader_of(r)) return;
+  if (!config().unsafe_trust_catchup_blocks && !vote_candidate(block)) return;
   if (block.parent.rank(false) < rank_lock()) return;
   // Batch-reference blocks: defer the vote until the payload resolves
   // (store_block started the pull); on_batch_resolved retries this rule.

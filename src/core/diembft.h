@@ -34,6 +34,18 @@ class DiemBftReplica final : public ReplicaBase {
   void handle_message(ReplicaId from, smr::Message&& msg) override;
   void on_batch_resolved(const smr::Block& block, ReplicaId from) override;
 
+  void on_fault_changed(const FaultSpec& old) override {
+    if (halted()) return;
+    // Spam edge: start the flood loop (it self-terminates on clear).
+    // Un-crash edge: the round timer was never armed (or swallowed by the
+    // crashed() guard), so re-arm and resume proposing.
+    if (!old.spams_timeouts() && fault().spams_timeouts()) spam_timeouts();
+    if (old.crashed() && !fault().crashed()) {
+      arm_timer();
+      maybe_propose();
+    }
+  }
+
   void encode_extra_state(Encoder& enc) const override { enc.u64(last_proposed_round_); }
   bool restore_extra_state(Decoder& dec) override {
     auto last = dec.u64();

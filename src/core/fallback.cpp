@@ -23,6 +23,7 @@ FallbackReplica::FallbackReplica(const ReplicaContext& ctx, FallbackParams fb)
 void FallbackReplica::start() {
   if (fault().crashed()) return;
   if (fault().spams_timeouts()) spam_timeouts();
+  resume_batch_recovery();  // re-pull batches in flight at crash time
   if (fb_.always_fallback) {
     // ACE/VABA-style baseline: no synchronous path at all — every view is
     // a fallback, entered directly without timeouts. A recovered replica
@@ -35,6 +36,26 @@ void FallbackReplica::start() {
   }
   arm_timer();
   maybe_propose_steady();
+}
+
+void FallbackReplica::on_fault_changed(const FaultSpec& old) {
+  if (halted()) return;
+  // Edge transitions with pending machinery: a newly spamming replica
+  // starts its flood loop (the loop self-terminates when the fault
+  // clears), and an un-crashed replica resumes participation — its round
+  // timer was never armed (or its firing was swallowed by the crashed()
+  // guard), so without a re-arm it would stay silent forever.
+  if (!old.spams_timeouts() && fault().spams_timeouts()) spam_timeouts();
+  if (old.crashed() && !fault().crashed()) {
+    if (fb_.always_fallback) {
+      if (!fallback_entered_view_ || *fallback_entered_view_ < v_cur_) {
+        enter_fallback(v_cur_, std::nullopt);
+      }
+    } else if (!fallback_mode_) {
+      arm_timer();
+      maybe_propose_steady();
+    }
+  }
 }
 
 void FallbackReplica::encode_extra_state(Encoder& enc) const {
@@ -216,7 +237,9 @@ void FallbackReplica::maybe_propose_steady() {
 }
 
 void FallbackReplica::spam_timeouts() {
-  if (halted()) return;
+  // The loop dies when the fault is cleared or flipped mid-run
+  // (set_fault); on_fault_changed restarts it on a fresh spam edge.
+  if (halted() || !fault().spams_timeouts()) return;
   smr::FbTimeoutMsg msg;
   msg.view = v_cur_;
   msg.view_share = maybe_corrupt(
@@ -238,6 +261,7 @@ void FallbackReplica::handle_proposal(ReplicaId from, smr::ProposalMsg&& msg) {
   const Round r = block.round;
   const View v = block.view;
   const smr::BlockId block_id = block.id;
+  maybe_forge_ghost_chain(block);  // kGhostChain only; no-op when honest
   // This block passed proposal authentication (signed envelope from the
   // round's leader): it — and only it — may earn this round's vote, even
   // when the vote is deferred until its batch resolves.
@@ -262,7 +286,8 @@ void FallbackReplica::try_vote_steady(const smr::Block& block) {
   // Proposal authentication: blocks that entered the store via catch-up
   // (BlockResponseMsg) never passed handle_proposal's leader check, and
   // the deferred retry below must not vote on them.
-  if (block.proposer != leader_of(r) || !vote_candidate(block)) return;
+  if (block.proposer != leader_of(r)) return;
+  if (!config().unsafe_trust_catchup_blocks && !vote_candidate(block)) return;
   if (rank_of(block.parent) < rank_lock()) return;
   if (r != block.parent.round + 1) return;
   // Batch-reference blocks: the vote waits for the payload — external
@@ -323,7 +348,7 @@ void FallbackReplica::arm_timer() {
 }
 
 void FallbackReplica::on_timer_fired(Round round) {
-  if (halted() || round != r_cur_ || fallback_mode_) return;
+  if (halted() || fault().crashed() || round != r_cur_ || fallback_mode_) return;
   timer_ = sim::kInvalidEvent;
   // Fig 2 Timer and Timeout: set fallback-mode and multicast
   // <{v_cur}_i, qc_high>_i.

@@ -69,6 +69,7 @@ class FallbackReplica final : public ReplicaBase {
   std::uint32_t commit_len() const override { return fb_.chain_len; }
   void handle_message(ReplicaId from, smr::Message&& msg) override;
   void on_batch_resolved(const smr::Block& block, ReplicaId from) override;
+  void on_fault_changed(const FaultSpec& old) override;
   void encode_extra_state(Encoder& enc) const override;
   bool restore_extra_state(Decoder& dec) override;
 

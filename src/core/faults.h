@@ -47,6 +47,14 @@ enum class FaultKind : std::uint8_t {
   /// verification gate: honest replicas must reject (cached_verify fails),
   /// blame the sender, and never adopt or count the fake toward election.
   kForgeFbQc,
+  /// On every steady-state proposal it receives, multicasts a fabricated
+  /// ancestor chain through the catch-up channel (BlockResponseMsg):
+  /// blocks whose embedded parent certificates carry garbage threshold
+  /// signatures, the tip a batch-referenced block whose batch it also
+  /// ships. Stresses the deferred-vote gate from the pipelined proposal
+  /// path: a block stored via catch-up must never become a vote
+  /// candidate, or the forged ancestry would be certified and committed.
+  kGhostChain,
 };
 
 struct FaultSpec {
@@ -61,6 +69,7 @@ struct FaultSpec {
   bool sends_bad_shares() const { return kind == FaultKind::kBadShares; }
   bool impersonates_shares() const { return kind == FaultKind::kImpersonateShares; }
   bool forges_fbqc() const { return kind == FaultKind::kForgeFbQc; }
+  bool forges_ghost_chain() const { return kind == FaultKind::kGhostChain; }
 };
 
 }  // namespace repro::core

@@ -219,6 +219,13 @@ class IReplica {
   /// replacing an instance with a WAL-recovered one.
   virtual void halt() = 0;
 
+  /// Mutate this replica's fault behaviour mid-run (chaos schedules).
+  /// Replaces the FaultSpec the replica was constructed with; protocol
+  /// implementations react to edge transitions (a newly spamming replica
+  /// starts its flood loop, an un-crashed one re-arms its round timer).
+  /// Default: ignore (protocols without fault machinery).
+  virtual void set_fault(const FaultSpec& fault) { (void)fault; }
+
   virtual ReplicaId id() const = 0;
   virtual const smr::Ledger& ledger() const = 0;
   virtual smr::Ledger& ledger() = 0;

@@ -73,6 +73,16 @@ void ReplicaBase::persist_vote_state() {
   enc.u32(static_cast<std::uint32_t>(coins_.size()));
   for (const auto& [view, coin] : coins_) coin.encode(enc);
   encode_extra_state(enc);
+  // Unresolved batch waiters: blocks stored but still awaiting their
+  // referenced batch. Restored into recovered_batch_waiters_ so a restart
+  // can re-issue the fetches/pulls instead of stalling until an unrelated
+  // pull fires (resume_batch_recovery).
+  enc.u32(static_cast<std::uint32_t>(waiting_batch_.size()));
+  for (const auto& [ref, ids] : waiting_batch_) {
+    enc.bytes(BytesView(ref.data(), ref.size()));
+    enc.u32(static_cast<std::uint32_t>(ids.size()));
+    for (const auto& bid : ids) enc.bytes(BytesView(bid.data(), bid.size()));
+  }
   wal_->append(enc.result());
 }
 
@@ -109,11 +119,54 @@ bool ReplicaBase::recover_from_wal() {
   // block bodies return through the block-retrieval path as peers talk to
   // us. Conservative: never behind round 1.
   r_cur_ = std::max<Round>(1, qc_high_.round + 1);
+  recovered_batch_waiters_.clear();
   if (!restore_extra_state(dec)) {
     LOG_ERROR("replica %u: corrupted WAL extra state; keeping base state", id_);
+  } else if (auto wcount = dec.u32()) {
+    bool ok = true;
+    for (std::uint32_t i = 0; ok && i < *wcount; ++i) {
+      auto ref_bytes = dec.bytes();
+      auto id_count = dec.u32();
+      if (!ref_bytes || !id_count || ref_bytes->size() != std::tuple_size_v<smr::BatchId>) {
+        ok = false;
+        break;
+      }
+      smr::BatchId ref{};
+      std::copy(ref_bytes->begin(), ref_bytes->end(), ref.begin());
+      std::vector<smr::BlockId> ids;
+      ids.reserve(*id_count);
+      for (std::uint32_t j = 0; j < *id_count; ++j) {
+        auto idb = dec.bytes();
+        if (!idb || idb->size() != std::tuple_size_v<smr::BlockId>) {
+          ok = false;
+          break;
+        }
+        smr::BlockId bid{};
+        std::copy(idb->begin(), idb->end(), bid.begin());
+        ids.push_back(bid);
+      }
+      if (ok) recovered_batch_waiters_.emplace_back(ref, std::move(ids));
+    }
+    if (!ok) {
+      LOG_ERROR("replica %u: corrupted WAL batch-waiter state; skipping", id_);
+      recovered_batch_waiters_.clear();
+    }
   }
   recovered_ = true;
   return true;
+}
+
+void ReplicaBase::resume_batch_recovery() {
+  if (recovered_batch_waiters_.empty()) return;
+  const auto waiters = std::move(recovered_batch_waiters_);
+  recovered_batch_waiters_.clear();
+  for (const auto& [ref, ids] : waiters) {
+    // Re-fetch the waiting blocks: the store is not persisted, and the
+    // arrival path (store_block -> try_resolve_block) rebuilds the waiter
+    // entry. Pull the batch in parallel so whichever lands last resolves.
+    for (const auto& bid : ids) ensure_block(bid, id_);
+    if (!batch_store_.contains(ref)) start_batch_pull(ref, id_);
+  }
 }
 
 void ReplicaBase::on_message(ReplicaId from, const Bytes& payload) {
@@ -382,6 +435,60 @@ void ReplicaBase::try_resolve_block(const smr::BlockId& id, ReplicaId hint) {
   ++stats_.batch_ref_misses;
   waiting_batch_[ref].push_back(id);
   start_batch_pull(ref, hint);
+  // Keep the WAL's waiter section fresh: a crash between now and the next
+  // vote must still recover this in-flight reference (no-op without WAL).
+  persist_vote_state();
+}
+
+void ReplicaBase::maybe_forge_ghost_chain(const smr::Block& real) {
+  if (!cfg_.fault.forges_ghost_chain() || halted_) return;
+  if (!cfg_.batch_refs || real.is_fallback()) return;
+  const Round r = real.round;
+  if (r < 3 || r <= last_ghost_round_) return;
+  // Anchor the fabricated chain on the *genuine* round-(r-3) certificate
+  // so every edge has consecutive rounds and the victims' commit scan
+  // walks seamlessly from the ghost blocks back into the real chain
+  // (a non-consecutive edge would leave a non-monotonic ledger). The
+  // attacker followed the protocol until now, so the two real ancestors
+  // are normally in its store; skip this round if either is missing.
+  const smr::Block* p1 = store_.get(real.parent.block_id);  // round r-1
+  if (p1 == nullptr) return;
+  const smr::Block* p2 = store_.get(p1->parent.block_id);  // round r-2
+  if (p2 == nullptr) return;
+  const smr::Certificate anchor = p2->parent;  // real cert for round r-3
+  last_ghost_round_ = r;
+  // A deterministic ghost batch, round-stamped so each round's fabricated
+  // chain is distinct and large enough to ship as a reference.
+  Bytes batch_data(cfg_.batch_ref_min_bytes + 64, 0x6b);
+  Encoder stamp;
+  stamp.u64(r);
+  stamp.u64(id_);
+  const Bytes& stamped = stamp.result();
+  std::copy(stamped.begin(), stamped.end(), batch_data.begin());
+  const smr::Batch batch = smr::Batch::seal(std::move(batch_data));
+
+  // Three id-consistent blocks whose embedded parent certificates carry
+  // garbage threshold signatures. Nothing on the catch-up store path
+  // verifies them; the deferred-vote gate is what keeps them from ever
+  // becoming vote candidates (unless unsafe_trust_catchup_blocks).
+  smr::Block b0 = smr::Block::make(anchor, r - 2, real.view, 0, leader_of(r - 2),
+                                   Bytes{0xde, 0xad});
+  const smr::Certificate q0{smr::CertKind::kQuorum, b0.id,     b0.round,
+                            b0.view,                b0.height, b0.proposer,
+                            crypto::ThresholdSig{0xbadc0debadc0deull}};
+  smr::Block b1 = smr::Block::make(q0, r - 1, real.view, 0, leader_of(r - 1), Bytes{0xbe, 0xef});
+  const smr::Certificate q1{smr::CertKind::kQuorum, b1.id,     b1.round,
+                            b1.view,                b1.height, b1.proposer,
+                            crypto::ThresholdSig{0xbadc0debadc0deull}};
+  smr::Block ghost = smr::Block::make(q1, r, real.view, 0, leader_of(r),
+                                      Bytes(batch.id.begin(), batch.id.end()),
+                                      smr::kBatchRefPayload);
+  smr::BlockResponseMsg resp;  // receivers store rbegin-first: push tip first
+  resp.blocks.push_back(std::move(ghost));
+  resp.blocks.push_back(std::move(b1));
+  resp.blocks.push_back(std::move(b0));
+  multicast(std::move(resp));
+  multicast(smr::BatchMsg{batch.data});
 }
 
 void ReplicaBase::accept_batch(Bytes data, ReplicaId from) {

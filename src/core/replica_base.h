@@ -78,6 +78,11 @@ class ReplicaBase : public IReplica {
   Round current_round() const final { return r_cur_; }
   View current_view() const final { return v_cur_; }
   const ReplicaStats& stats() const final { return stats_; }
+  void set_fault(const FaultSpec& fault) final {
+    const FaultSpec old = cfg_.fault;
+    cfg_.fault = fault;
+    on_fault_changed(old);
+  }
 
   // Extra introspection used by tests / harness.
   const smr::BlockStore& store() const { return store_; }
@@ -98,6 +103,15 @@ class ReplicaBase : public IReplica {
 
   /// The content-addressed batch cache (pipelined proposal path).
   const smr::BatchStore& batch_store() const { return batch_store_; }
+
+  /// Batch references with stored ref blocks still awaiting their batch
+  /// (tests pin that recovery re-issues pulls for exactly these).
+  std::vector<smr::BatchId> unresolved_batch_refs() const {
+    std::vector<smr::BatchId> out;
+    out.reserve(waiting_batch_.size());
+    for (const auto& [ref, blocks] : waiting_batch_) out.push_back(ref);
+    return out;
+  }
 
   /// Per-sender blame counters for relayed certificates that failed
   /// verification (forged f-QC / coin-QC advertisements) — public so
@@ -127,6 +141,12 @@ class ReplicaBase : public IReplica {
   /// Hook invoked whenever a previously missing block body arrives
   /// (via proposal or fetch); subclasses retry deferred decisions.
   virtual void on_block_stored(const smr::Block& block, ReplicaId from);
+
+  /// Hook invoked after set_fault replaced the FaultSpec (`old` is the
+  /// previous one). Runs on the replica's own state only; subclasses
+  /// handle edge transitions (kick the timeout-spam loop, re-arm the
+  /// round timer after an un-crash). Default: nothing.
+  virtual void on_fault_changed(const FaultSpec& old) { (void)old; }
 
   /// Hook invoked when a stored batch-reference block's payload resolves
   /// *after* the block arrived (the referenced batch came in later via
@@ -378,11 +398,27 @@ class ReplicaBase : public IReplica {
   };
   PayloadChoice take_payload();
 
+  /// kGhostChain behaviour: on each authenticated proposal for round r,
+  /// multicast a fabricated three-block ancestor chain for r through the
+  /// catch-up channel (BlockResponseMsg) — forged embedded parent
+  /// certificates, the tip a batch-reference block whose batch is also
+  /// shipped. Harmless against the deferred-vote gate; a safety attack
+  /// when unsafe_trust_catchup_blocks re-opens the PR 7 hole. Called by
+  /// the protocols' handle_proposal (no-op unless the fault is active).
+  void maybe_forge_ghost_chain(const smr::Block& real);
+
   // Durability ------------------------------------------------------------
   /// Append a full vote-state snapshot to the WAL (no-op without one).
   /// Called by the protocol immediately *before* any message that the
   /// state change guards (votes, proposals) goes out.
   void persist_vote_state();
+
+  /// Re-issue block fetches and batch pulls for the batch references the
+  /// restored WAL snapshot recorded as unresolved at crash time. Without
+  /// this a block whose batch was in flight at the crash leaves the
+  /// restarted replica unable to vote until an unrelated pull fires.
+  /// Called from the protocols' start() (the network must be up).
+  void resume_batch_recovery();
 
   /// Protocol-specific state appended to / restored from each snapshot.
   virtual void encode_extra_state(Encoder& enc) const { (void)enc; }
@@ -484,6 +520,11 @@ class ReplicaBase : public IReplica {
   /// Proposal-authentication gate (see note_vote_candidate).
   Round vote_candidate_round_ = 0;
   smr::BlockId vote_candidate_id_{};
+  /// Unresolved batch waiters restored from the WAL snapshot, consumed by
+  /// resume_batch_recovery: batch id -> blocks that referenced it.
+  std::vector<std::pair<smr::BatchId, std::vector<smr::BlockId>>> recovered_batch_waiters_;
+  /// kGhostChain: one forged chain per round.
+  Round last_ghost_round_ = 0;
 
   std::map<View, smr::CoinQC> coins_;
   std::unordered_set<smr::BlockId, smr::BlockIdHash> outstanding_fetches_;

@@ -20,6 +20,10 @@ const char* protocol_name(Protocol p) {
 
 Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
   crypto_ = crypto::CryptoSystem::deal(QuorumParams::for_n(cfg_.n), cfg_.seed ^ 0xc0ffee);
+  ever_faulty_.assign(cfg_.n, 0);
+  for (const auto& [id, kind] : cfg_.faults) {
+    if (id < cfg_.n && kind != core::FaultKind::kNone) ever_faulty_[id] = 1;
+  }
   const auto& crypto = crypto_;
   net_ = std::make_unique<net::Network>(sim_, cfg_.n, build_delay_model(),
                                         Rng(cfg_.seed ^ 0x6e6574));
@@ -67,11 +71,12 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
       traces_.push_back(std::make_shared<obs::TraceRing>(cap, /*wall_clock=*/false));
       ctx.trace = traces_.back();
     }
-    ctx.on_commit = [this](const smr::CommitRecord& rec) {
+    ctx.on_commit = [this, id](const smr::CommitRecord& rec) {
       auto it = births_.find(rec.id);
       if (it != births_.end() && rec.commit_time >= it->second) {
         commit_latency_hist_->observe(rec.commit_time - it->second);
       }
+      if (cfg_.on_commit) cfg_.on_commit(id, rec);
     };
     ctx.fallback_duration_hist = fallback_duration_hist_;
     ctxs_.push_back(ctx);
@@ -167,9 +172,12 @@ void Experiment::start() {
   for (auto& r : replicas_) r->start();
 }
 
-void Experiment::restart_replica(ReplicaId id) {
-  REPRO_ASSERT(id < replicas_.size());
-  REPRO_ASSERT_MSG(cfg_.enable_wal, "restart_replica requires enable_wal");
+bool Experiment::restart_replica(ReplicaId id) {
+  // Recoverable refusals, not asserts: generated churn schedules probe
+  // configurations (WAL-off runs, shrunk replica counts) where a restart
+  // is meaningless, and the run must fail soft instead of aborting.
+  if (id >= replicas_.size()) return false;
+  if (!cfg_.enable_wal) return false;
   // The old instance cannot be destroyed immediately: pending simulator
   // callbacks (timers) capture its `this`. Halt it — every entry point
   // becomes a no-op — and park it until the Experiment dies. Network
@@ -182,11 +190,41 @@ void Experiment::restart_replica(ReplicaId id) {
   // same metric identity (the registry replaces the old pointers).
   core::register_replica_stats(registry_, replicas_[id]->stats(), id);
   replicas_[id]->start();
+  return true;
+}
+
+std::size_t Experiment::ever_faulty_count() const {
+  std::size_t c = 0;
+  for (char v : ever_faulty_) c += v != 0;
+  return c;
+}
+
+bool Experiment::set_fault(ReplicaId id, core::FaultKind kind) {
+  if (id >= replicas_.size()) return false;
+  if (kind != core::FaultKind::kNone && !ever_faulty_[id]) {
+    // ≤f budget over the run's history: corrupting an f+1-th distinct
+    // replica would exceed the adversary the protocol is proved against.
+    if (ever_faulty_count() >= crypto_->params.f) return false;
+    ever_faulty_[id] = 1;
+  }
+  core::FaultSpec spec;
+  spec.kind = kind;
+  // Keep the construction context in sync so a later restart_replica
+  // rebuilds the instance with its current fault, not the original one.
+  ctxs_[id].config.fault = spec;
+  replicas_[id]->set_fault(spec);
+  return true;
+}
+
+void Experiment::set_fault(ReplicaId id, core::FaultKind kind, SimTime at) {
+  sim_.schedule_at(at, [this, id, kind] { set_fault(id, kind); });
 }
 
 bool Experiment::is_honest(ReplicaId id) const {
-  auto it = cfg_.faults.find(id);
-  return it == cfg_.faults.end() || it->second == core::FaultKind::kNone;
+  // Judged against history: a replica that was Byzantine for any part of
+  // the run stays outside the safety/liveness guarantees even after its
+  // fault is cleared (its earlier equivocations are still in the wild).
+  return id < ever_faulty_.size() && ever_faulty_[id] == 0;
 }
 
 std::size_t Experiment::min_honest_commits() const {

@@ -75,6 +75,11 @@ struct ExperimentConfig {
   /// to budget / sizeof(TraceEvent). Opt-in so seeded trace pins keep
   /// their exact ring size (ring overwrite changes which events survive).
   std::size_t trace_budget_bytes = 0;
+
+  /// Optional harness-level commit hook, invoked after the latency
+  /// histogram for every record any replica commits. The chaos fuzzer
+  /// hangs its per-commit invariant check here.
+  std::function<void(ReplicaId, const smr::CommitRecord&)> on_commit;
 };
 
 /// Result of the pairwise ledger prefix-consistency check.
@@ -92,10 +97,29 @@ class Experiment {
 
   /// Simulate a crash + restart of one replica: the old instance (and all
   /// its in-memory state) is destroyed and a fresh one is built, which
-  /// recovers its vote state from the WAL (requires enable_wal) and
-  /// catches up on the chain through block retrieval. In-flight messages
-  /// addressed to it are delivered to the new instance.
-  void restart_replica(ReplicaId id);
+  /// recovers its vote state from the WAL and catches up on the chain
+  /// through block retrieval. In-flight messages addressed to it are
+  /// delivered to the new instance. Returns false — a recoverable error,
+  /// not an abort — when the id is out of range or the experiment runs
+  /// without a WAL (a restart would then be an amnesia crash, which the
+  /// protocol's durability story does not cover; generated churn
+  /// schedules skip the event instead of killing the process).
+  bool restart_replica(ReplicaId id);
+
+  /// Mutate one replica's fault behaviour mid-run. Enforces the ≤f
+  /// corruption budget over the run's *history*: a replica that was ever
+  /// faulty stays inside the budget forever (clearing a fault never frees
+  /// a slot — a once-corrupted replica cannot be retroactively trusted),
+  /// and corrupting a fresh replica is refused once f distinct replicas
+  /// have been faulty. Returns false if refused (budget or bad id).
+  bool set_fault(ReplicaId id, core::FaultKind kind);
+
+  /// Schedule set_fault(id, kind) at absolute sim time `at`.
+  void set_fault(ReplicaId id, core::FaultKind kind, SimTime at);
+
+  /// Replicas that have ever been faulty (static map or dynamic
+  /// set_fault). The ≤f budget and is_honest() judge against this.
+  std::size_t ever_faulty_count() const;
 
   /// Run until every honest replica has committed >= target blocks, the
   /// virtual clock passes `max_time`, or the event queue drains. Returns
@@ -159,6 +183,8 @@ class Experiment {
   net::AdaptiveLeaderAttackModel* attack_model_ = nullptr;  ///< owned by net_
   std::vector<std::unique_ptr<core::IReplica>> replicas_;
   std::vector<core::ReplicaContext> ctxs_;
+  /// Ever-faulty markers (see ever_faulty_count); index = replica id.
+  std::vector<char> ever_faulty_;
   std::vector<std::unique_ptr<storage::MemWal>> wals_;
   /// Halted pre-restart instances (kept alive for their queued timers).
   std::vector<std::unique_ptr<core::IReplica>> parked_;

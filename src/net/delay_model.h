@@ -215,6 +215,79 @@ class PartitionModel final : public DelayModel {
   std::unordered_map<ReplicaId, std::size_t> group_of_;
 };
 
+/// Runtime-mutable chaos overlay (the fuzzer's network adversary): wraps
+/// an inner model and layers two self-expiring attacks on top of its
+/// delays.
+///
+///  * Dynamic partition: set_partition splits the replicas into groups
+///    until `heal_time`; cross-group messages are parked until the heal
+///    (same reliable-channel discipline as PartitionModel). The window
+///    expires by itself — `ctx.now >= heal` reverts to the inner model —
+///    so schedules need no paired heal event, and a later set_partition
+///    simply replaces the cut.
+///  * Leader attack window: between [start, end) every message touching
+///    a replica in targets_fn() is deferred by attack_delay, the
+///    AdaptiveLeaderAttackModel behaviour scoped to a time window.
+///
+/// Both attacks stack (a targeted leader inside a partitioned group pays
+/// both penalties), and neither draws randomness beyond the inner
+/// model's, so an overlay with no active window is delay-identical to
+/// the bare inner model.
+class ChaosOverlayModel final : public DelayModel {
+ public:
+  using TargetsFn = std::function<std::set<ReplicaId>()>;
+
+  explicit ChaosOverlayModel(std::unique_ptr<DelayModel> inner) : inner_(std::move(inner)) {}
+
+  /// Partition into `groups` until `heal_time` (absolute sim time).
+  /// Replicas in no group form an implicit extra group together.
+  void set_partition(const std::vector<std::vector<ReplicaId>>& groups, SimTime heal_time) {
+    group_of_.clear();
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (ReplicaId id : groups[g]) group_of_[id] = g + 1;
+    }
+    heal_ = heal_time;
+  }
+
+  /// Defer traffic touching targets_fn() by attack_delay in [start, end).
+  void set_attack_window(SimTime start, SimTime end, SimTime attack_delay, TargetsFn fn) {
+    attack_start_ = start;
+    attack_end_ = end;
+    attack_delay_ = attack_delay;
+    targets_fn_ = std::move(fn);
+  }
+
+  SimTime delay(const MessageContext& ctx, Rng& rng) override {
+    SimTime d = inner_->delay(ctx, rng);
+    if (ctx.now < heal_ && !group_of_.empty()) {
+      const std::size_t a = group_id(ctx.from);
+      const std::size_t b = group_id(ctx.to);
+      if (a != b) d += heal_ - ctx.now;  // parked until the heal
+    }
+    if (targets_fn_ && ctx.now >= attack_start_ && ctx.now < attack_end_) {
+      const std::set<ReplicaId> targets = targets_fn_();
+      if (targets.count(ctx.from) != 0 || targets.count(ctx.to) != 0) {
+        d += attack_delay_;
+      }
+    }
+    return d;
+  }
+
+ private:
+  std::size_t group_id(ReplicaId id) const {
+    auto it = group_of_.find(id);
+    return it == group_of_.end() ? 0 : it->second;
+  }
+
+  std::unique_ptr<DelayModel> inner_;
+  std::unordered_map<ReplicaId, std::size_t> group_of_;
+  SimTime heal_ = 0;
+  SimTime attack_start_ = 0;
+  SimTime attack_end_ = 0;
+  SimTime attack_delay_ = 0;
+  TargetsFn targets_fn_;
+};
+
 /// Fixed-delay model for unit tests (fully predictable schedules).
 class FixedDelayModel final : public DelayModel {
  public:

@@ -124,6 +124,14 @@ TEST(Rng, UniformRespectsBound) {
   for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(7), 7u);
 }
 
+TEST(Rng, UniformZeroBoundYieldsZero) {
+  // An empty range must not divide by zero — chaos-schedule generators
+  // draw from ranges that can legitimately be empty.
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(0), 0u);
+  EXPECT_EQ(rng.uniform_range(4, 4), 4u);  // degenerate-but-nonempty still works
+}
+
 TEST(Rng, UniformCoversRange) {
   Rng rng(6);
   std::map<std::uint64_t, int> hist;

@@ -12,8 +12,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "harness/chaos.h"
 #include "harness/experiment.h"
 #include "harness/invariants.h"
 #include "obs/metrics.h"
@@ -26,6 +30,7 @@ namespace {
 void usage() {
   std::printf(
       "usage: bftlab [options]\n"
+      "       bftlab fuzz [fuzz-options]   (see bftlab fuzz --help)\n"
       "  --protocol P   diem | fallback3 | fallback3adopt | fallback2 | ace\n"
       "                 (default fallback3)\n"
       "  --net S        sync | async | psync | attack  (default sync)\n"
@@ -39,7 +44,7 @@ void usage() {
       "                 (default 2000; cap tracks at 4x the mean)\n"
       "  --faults LIST  comma-separated, applied to the last replicas:\n"
       "                 crash | mute | equiv | withhold | spam | badshare |\n"
-      "                 impersonate | forgeqc\n"
+      "                 impersonate | forgeqc | ghost\n"
       "  --eager        verify every threshold share on arrival (default is\n"
       "                 optimistic combine-then-verify accumulation)\n"
       "  --no-adopt     disable the strict higher-position adoption rule in\n"
@@ -81,6 +86,7 @@ bool parse_fault(const std::string& s, core::FaultKind* out) {
   else if (s == "badshare") *out = core::FaultKind::kBadShares;
   else if (s == "impersonate") *out = core::FaultKind::kImpersonateShares;
   else if (s == "forgeqc") *out = core::FaultKind::kForgeFbQc;
+  else if (s == "ghost") *out = core::FaultKind::kGhostChain;
   else return false;
   return true;
 }
@@ -107,9 +113,166 @@ const char* msg_type_name(std::size_t tag) {
   }
 }
 
+// ---- bftlab fuzz: the deterministic chaos fuzzer -----------------------
+
+void usage_fuzz() {
+  std::printf(
+      "usage: bftlab fuzz [options]\n"
+      "  --seeds N      number of schedules to run        (default 50)\n"
+      "  --seed0 X      first seed of the sweep           (default 1)\n"
+      "  --seconds S    wall-clock budget; stop after the current seed\n"
+      "                 once exceeded (default unlimited)\n"
+      "  --quick        CI smoke preset: 120 s wall budget, shrink\n"
+      "                 budget 100 candidate runs\n"
+      "  --plant-deferred-vote-hole\n"
+      "                 open the planted catch-up vote hole in every\n"
+      "                 schedule (self-test: the fuzzer must find it)\n"
+      "  --no-shrink    keep failing schedules unminimized\n"
+      "  --out DIR      write repro-<seed>.json per failure into DIR\n"
+      "  --json FILE    write the sweep summary as JSON to FILE\n"
+      "  --replay FILE  re-execute one schedule artifact; exits nonzero\n"
+      "                 unless the trace sha256 matches its pin\n"
+      "  --quiet        summary only, no per-failure lines\n");
+}
+
+int run_replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "fuzz: cannot read '%s'\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto sched = schedule_from_json(buf.str());
+  if (!sched) {
+    std::fprintf(stderr, "fuzz: '%s' is not a valid schedule artifact\n", path.c_str());
+    return 2;
+  }
+  const ChaosResult res = run_schedule(*sched);
+  std::printf("replay: seed=%llu n=%u commits=%zu %s\n",
+              static_cast<unsigned long long>(sched->seed), sched->n, res.commits,
+              res.ok ? "no violation" : res.failure.c_str());
+  std::printf("replay: trace sha256 %s\n", res.trace_sha256.c_str());
+  if (sched->expect_trace_sha256.empty()) {
+    std::printf("replay: artifact carries no trace pin\n");
+    return 0;
+  }
+  if (res.trace_sha256 != sched->expect_trace_sha256) {
+    std::fprintf(stderr, "replay: MISMATCH, artifact pinned %s\n",
+                 sched->expect_trace_sha256.c_str());
+    return 1;
+  }
+  std::printf("replay: byte-identical to the pinned run\n");
+  return 0;
+}
+
+int run_fuzz(int argc, char** argv) {
+  ChaosFuzzer::Options opt;
+  std::string out_dir, json_out, replay_file;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      opt.seeds = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--seed0") {
+      opt.seed0 = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--seconds") {
+      opt.wall_limit_ms = static_cast<std::uint64_t>(std::atoll(next())) * 1'000;
+    } else if (arg == "--quick") {
+      if (opt.wall_limit_ms == 0) opt.wall_limit_ms = 120'000;
+      opt.shrink_budget = 100;
+    } else if (arg == "--plant-deferred-vote-hole") {
+      opt.gen.plant_deferred_vote_hole = true;
+    } else if (arg == "--no-shrink") {
+      opt.shrink = false;
+    } else if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--json") {
+      json_out = next();
+    } else if (arg == "--replay") {
+      replay_file = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      usage_fuzz();
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+  if (!replay_file.empty()) return run_replay(replay_file);
+
+  ChaosFuzzer fuzzer(opt);
+  const FuzzStats stats = fuzzer.run([&](std::uint64_t seed, const ChaosResult& res) {
+    if (!quiet && !res.ok) {
+      std::printf("fuzz: seed %llu FAILED (%s): %s\n",
+                  static_cast<unsigned long long>(seed), res.failure_kind.c_str(),
+                  res.failure.c_str());
+    }
+  });
+
+  if (!out_dir.empty() && !stats.found.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    for (const FuzzFailure& fail : stats.found) {
+      const std::string path =
+          out_dir + "/repro-" + std::to_string(fail.seed) + ".json";
+      std::ofstream f(path);
+      if (!f) {
+        std::fprintf(stderr, "fuzz: cannot write '%s'\n", path.c_str());
+        return 2;
+      }
+      f << schedule_to_json(fail.shrunk);
+      if (!quiet) {
+        std::printf("fuzz: seed %llu shrunk to %zu events (%zu shrink runs) -> %s\n",
+                    static_cast<unsigned long long>(fail.seed), fail.shrunk.events.size(),
+                    fail.shrink_runs, path.c_str());
+      }
+    }
+  }
+
+  const double win_rate =
+      stats.fallbacks_entered > 0
+          ? static_cast<double>(stats.fallbacks_won) / stats.fallbacks_entered
+          : 0.0;
+  if (!json_out.empty()) {
+    std::ofstream f(json_out);
+    if (!f) {
+      std::fprintf(stderr, "fuzz: cannot write '%s'\n", json_out.c_str());
+      return 2;
+    }
+    f << "{\n";
+    f << "  \"runs\": " << stats.runs << ",\n";
+    f << "  \"failures\": " << stats.failures << ",\n";
+    f << "  \"targets_reached\": " << stats.targets_reached << ",\n";
+    f << "  \"fallbacks_entered\": " << stats.fallbacks_entered << ",\n";
+    f << "  \"fallbacks_won\": " << stats.fallbacks_won << ",\n";
+    f << "  \"win_rate\": " << win_rate << ",\n";
+    f << "  \"failure_seeds\": [";
+    for (std::size_t i = 0; i < stats.found.size(); ++i) {
+      f << (i > 0 ? ", " : "") << stats.found[i].seed;
+    }
+    f << "]\n}\n";
+  }
+
+  std::printf("fuzz: %zu runs, %zu failures, %zu reached their commit target\n",
+              stats.runs, stats.failures, stats.targets_reached);
+  std::printf("fuzz: %llu fallbacks entered, %llu won by the fallback chain "
+              "(win rate %.3f, paper bound %.3f)\n",
+              static_cast<unsigned long long>(stats.fallbacks_entered),
+              static_cast<unsigned long long>(stats.fallbacks_won), win_rate, 2.0 / 3.0);
+  return stats.failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "fuzz") == 0) return run_fuzz(argc, argv);
   ExperimentConfig cfg;
   std::size_t commits = 50;
   SimTime horizon = 600'000'000;

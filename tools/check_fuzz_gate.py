@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CI gate for the chaos-fuzzer smoke sweep (bftlab fuzz --json).
+
+Hard requirements on main:
+  * zero failures — no schedule may violate the structural lemmas
+    (Lemmas 1-3, commit certification) or ledger prefix-consistency;
+  * a nonzero fallback sample count — the sweep must actually exercise
+    the asynchronous fallback path, otherwise the Lemma 7 win-rate
+    accounting (and much of the fuzzer's value) is vacuous.
+
+The aggregate fallback win rate is reported and compared against the
+paper's >= 2/3 bound; it only warns, because per-sweep sampling noise on
+a few hundred fallbacks is real while the bound is asymptotic.
+
+Usage: check_fuzz_gate.py FUZZ.json
+"""
+
+import json
+import sys
+
+PAPER_BOUND = 2.0 / 3.0
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            stats = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_fuzz_gate: cannot read summary: {e}", file=sys.stderr)
+        return 2
+
+    runs = int(stats.get("runs", 0))
+    failures = int(stats.get("failures", 0))
+    entered = int(stats.get("fallbacks_entered", 0))
+    won = int(stats.get("fallbacks_won", 0))
+    ok = True
+
+    if runs == 0:
+        print("check_fuzz_gate: FAIL - summary records zero runs")
+        ok = False
+    if failures != 0:
+        seeds = stats.get("failure_seeds", [])
+        print(f"check_fuzz_gate: FAIL - {failures} failing schedules "
+              f"(seeds {seeds}); replay the repro-<seed>.json artifacts")
+        ok = False
+    if entered == 0:
+        print("check_fuzz_gate: FAIL - no fallbacks entered; the sweep "
+              "never exercised the asynchronous path")
+        ok = False
+
+    if entered > 0:
+        rate = won / entered
+        verdict = "ok" if rate >= PAPER_BOUND else "WARN (below paper bound; sampling noise?)"
+        print(f"check_fuzz_gate: win rate {won}/{entered} = {rate:.3f} "
+              f"vs bound {PAPER_BOUND:.3f} - {verdict}")
+
+    if ok:
+        print(f"check_fuzz_gate: OK - {runs} runs, 0 failures, "
+              f"{entered} fallback samples")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
