@@ -19,6 +19,7 @@
 #include "bench_json.h"
 #include "core/fallback.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "transport/node.h"
 
 using namespace repro;
@@ -67,6 +68,9 @@ struct RunOpts {
   /// Digest-referenced payload dissemination (ProtocolConfig::batch_refs);
   /// false pins the inline wire format for A/B rows.
   bool batch_refs = true;
+  /// Commit-lifecycle span ring shared by every node (wall-clock mode);
+  /// null runs spans-off, the baseline side of the overhead gate.
+  std::shared_ptr<obs::SpanRing> spans;
 };
 
 RunResult run_cluster(std::uint32_t n, int millis, std::size_t batch_bytes,
@@ -90,6 +94,7 @@ RunResult run_cluster(std::uint32_t n, int millis, std::size_t batch_bytes,
     cfg.pcfg.batch_bytes = batch_bytes;
     cfg.pcfg.batch_refs = opts.batch_refs;
     cfg.verify_threads = opts.verify_threads;
+    cfg.spans = opts.spans;
     nodes.push_back(std::make_unique<TcpNode>(cfg, [fb](const core::ReplicaContext& ctx) {
       return std::make_unique<core::FallbackReplica>(ctx, fb);
     }));
@@ -159,6 +164,10 @@ void add_verify_fields(bench::JsonLine& line, const RunResult& r) {
 
 int main(int argc, char** argv) {
   const char* json_path = bench::json_path_arg(argc, argv);
+  const char* spans_out = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--spans-out") == 0) spans_out = argv[i + 1];
+  }
   std::printf("==============================================================\n");
   std::printf("TCP: real-socket reality check (localhost, 1 thread/replica)\n");
   std::printf("==============================================================\n\n");
@@ -289,6 +298,107 @@ int main(int argc, char** argv) {
           .field("sendq_dropped_frames", r.net.sendq_dropped_frames);
       add_verify_fields(line, r);
       line.field("wall_time_s", r.wall_seconds).append_to(json_path);
+    }
+  }
+
+  std::printf("\n--- commit-lifecycle spans: overhead + critical path -----------\n");
+  std::printf("    n=16 always-fallback, vt=2 — the worst-case span volume (every\n");
+  std::printf("    view is an O(n^2) proposal/vote storm). Interleaved best-of-5\n");
+  std::printf("    spans-off vs spans-on (noise only lowers throughput, so the\n");
+  std::printf("    best sample per side is the stable estimator — same statistic\n");
+  std::printf("    as the trace-ring overhead gate); check_span_gate.py\n");
+  std::printf("    requires on >= 0.95x off. The stage table below attributes each\n");
+  std::printf("    commit's end-to-end latency to its critical-path stages; the\n");
+  std::printf("    telescoped stage sum must cover >= 90%% of encode->commit.\n");
+  {
+    const std::uint32_t n = 16;
+    constexpr int kReps = 5;
+    RunResult runs[2][kReps];
+    std::shared_ptr<obs::SpanRing> last_ring;
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (std::size_t pos = 0; pos < 2; ++pos) {
+        // Alternate which side goes first each rep so slow machine drift
+        // (thermal, noisy neighbours) cannot systematically punish one
+        // side of the comparison.
+        const std::size_t si = (rep % 2 == 0) ? pos : 1 - pos;
+        RunOpts opts;
+        opts.always_fallback = true;
+        opts.verify_threads = 2;
+        if (si == 1) {
+          // Fresh ring per run so each sample pays full recording cost
+          // and the analyzed window is one clean run.
+          // 2^19 slots (~25 MiB): a 2 s always-fallback storm emits ~260k
+          // span events; the window must hold a whole run so every commit
+          // keeps its encode record (chains == commits, zero drops).
+          last_ring = std::make_shared<obs::SpanRing>(1 << 19, /*wall_clock=*/true);
+          opts.spans = last_ring;
+        }
+        runs[si][rep] = run_cluster(n, 2000, 0, opts);
+      }
+    }
+    double best[2] = {0, 0};
+    for (std::size_t si = 0; si < 2; ++si) {
+      for (const RunResult& r : runs[si]) {
+        best[si] = std::max(best[si], r.blocks_per_sec);
+      }
+    }
+    const double overhead = best[0] > 0 ? 1.0 - best[1] / best[0] : 0.0;
+    std::printf("    samples (blocks/s):");
+    for (std::size_t si = 0; si < 2; ++si) {
+      std::printf("  %s {", si == 0 ? "off" : "on");
+      for (int rep = 0; rep < kReps; ++rep) {
+        std::printf("%s%.0f", rep == 0 ? "" : " ", runs[si][rep].blocks_per_sec);
+      }
+      std::printf("}");
+    }
+    std::printf("\n");
+    std::printf("    spans-off %.0f blocks/s, spans-on %.0f blocks/s "
+                "(overhead %.1f%%)\n\n",
+                best[0], best[1], overhead * 100.0);
+
+    const std::vector<obs::SpanEvent> events = last_ring->events();
+    if (spans_out != nullptr) {
+      const std::string ndjson = obs::spans_to_ndjson(events);
+      std::FILE* f = std::fopen(spans_out, "w");
+      if (f != nullptr) {
+        std::fwrite(ndjson.data(), 1, ndjson.size(), f);
+        std::fclose(f);
+        std::printf("    span stream -> %s (%zu events)\n\n", spans_out, events.size());
+      }
+    }
+    obs::SpanReport report = obs::analyze_spans(events);
+    report.dropped += last_ring->dropped();
+    std::fputs(report.summary().c_str(), stdout);
+    if (report.chains.empty()) {
+      std::fprintf(stderr, "FAIL: no critical-path chains stitched from %zu span "
+                           "events\n", events.size());
+      return 1;
+    }
+    if (report.coverage_min < 0.9) {
+      std::fprintf(stderr, "FAIL: critical-path stage sum covers only %.1f%% of "
+                           "end-to-end commit latency (gate: >= 90%%)\n",
+                   report.coverage_min * 100.0);
+      return 1;
+    }
+    std::printf("    stage-sum coverage: min %.3f mean %.3f over %zu chains "
+                "(gate >= 0.9: OK)\n",
+                report.coverage_min, report.coverage_mean, report.chains.size());
+    if (json_path != nullptr) {
+      bench::JsonLine line("tcp_span_overhead");
+      line.field("n", std::uint64_t{n})
+          .field("always_fallback", std::uint64_t{1})
+          .field("verify_threads", std::uint64_t{2})
+          .field("blocks_per_sec_off", best[0])
+          .field("blocks_per_sec_on", best[1])
+          .field("overhead_frac", overhead)
+          .field("span_events", std::uint64_t{events.size()})
+          .field("span_dropped", last_ring->dropped())
+          .field("chains", std::uint64_t{report.chains.size()})
+          .field("commits_seen", std::uint64_t{report.commits_seen})
+          .field("coverage_min", report.coverage_min)
+          .field("coverage_mean", report.coverage_mean)
+          .field("clock_pairs", std::uint64_t{report.clock_pairs})
+          .append_to(json_path);
     }
   }
 

@@ -144,6 +144,7 @@ void ClientSwarm::on_commit(ReplicaId replica, const smr::Block& block) {
   // The replica commits to the batch with a Merkle tree and attaches an
   // inclusion proof to each acknowledgment.
   const crypto::MerkleTree tree(TxnPools::decode_txn_payloads(block.txns()));
+  const std::uint64_t block_key = crypto::digest_prefix_u64(block.id);
   for (std::uint32_t i = 0; i < ids.size(); ++i) {
     const TxnId id = ids[i];
     const crypto::Digest root = tree.root();
@@ -151,14 +152,14 @@ void ClientSwarm::on_commit(ReplicaId replica, const smr::Block& block) {
     ++stats_.rpc_messages;
     // ack: txn id + root + proof (index + 33 bytes/step).
     stats_.rpc_bytes += 32 + 32 + 8 + proof.steps.size() * 33;
-    exp_.sim().schedule_after(rpc_delay(), [this, replica, id, root, proof] {
-      deliver_ack(replica, id, root, proof);
+    exp_.sim().schedule_after(rpc_delay(), [this, replica, id, block_key, root, proof] {
+      deliver_ack(replica, id, block_key, root, proof);
     });
   }
 }
 
-void ClientSwarm::deliver_ack(ReplicaId replica, const TxnId& id, const crypto::Digest& root,
-                              const crypto::MerkleProof& proof) {
+void ClientSwarm::deliver_ack(ReplicaId replica, const TxnId& id, std::uint64_t block_key,
+                              const crypto::Digest& root, const crypto::MerkleProof& proof) {
   auto it = in_flight_.find(id);
   if (it == in_flight_.end()) return;
   if (!crypto::MerkleTree::verify(root, it->second.payload, proof)) {
@@ -168,8 +169,21 @@ void ClientSwarm::deliver_ack(ReplicaId replica, const TxnId& id, const crypto::
   it->second.acks.insert(replica);
   const std::uint32_t needed = QuorumParams::for_n(exp_.n()).coin_quorum();  // f + 1
   if (it->second.acks.size() < needed) return;
-  stats_.confirm_latencies_us.push_back(exp_.sim().now() - it->second.submitted_at);
+  const SimTime latency = exp_.sim().now() - it->second.submitted_at;
+  stats_.confirm_latencies_us.push_back(latency);
   ++stats_.confirmed;
+  if (const auto& spans = exp_.spans(); spans && spans->enabled()) {
+    // Chain tail: the f+1'th ack closes the loop the client opened at
+    // submit. Keyed by the committing block so analyze_spans can extend
+    // that block's chain to client-perceived latency.
+    obs::SpanEvent ev;
+    ev.stage = obs::SpanStage::kClientConfirm;
+    ev.replica = replica;
+    ev.t_us = exp_.sim().now();
+    ev.key = block_key;
+    ev.aux = latency;
+    spans->push(ev);
+  }
   in_flight_.erase(it);
 }
 

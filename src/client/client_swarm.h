@@ -120,9 +120,11 @@ class ClientSwarm {
   void on_commit(ReplicaId replica, const smr::Block& block);
   /// An ack carries the batch's Merkle root and an inclusion proof; the
   /// client verifies the proof against its own copy of the transaction
-  /// before counting the ack toward the f+1 quorum.
-  void deliver_ack(ReplicaId replica, const TxnId& id, const crypto::Digest& root,
-                   const crypto::MerkleProof& proof);
+  /// before counting the ack toward the f+1 quorum. `block_key` is the
+  /// digest prefix of the committing block, threaded through so the
+  /// confirm span joins the block's commit-lifecycle chain.
+  void deliver_ack(ReplicaId replica, const TxnId& id, std::uint64_t block_key,
+                   const crypto::Digest& root, const crypto::MerkleProof& proof);
   SimTime rpc_delay();
 
   harness::Experiment& exp_;

@@ -220,6 +220,8 @@ void DiemBftReplica::handle_vote(ReplicaId from, const smr::VoteMsg& msg) {
   qc.sig = *sig;
   note_verified(qc);  // the accumulator verified the combined signature
   trace(obs::EventKind::kQcFormed, 0, msg.round);
+  span(obs::SpanStage::kQcFormed, crypto::digest_prefix_u64(msg.block_id), 0,
+       msg.round);
   lock_step(qc, from);
 }
 

@@ -335,6 +335,8 @@ void FallbackReplica::handle_vote(ReplicaId from, const smr::VoteMsg& msg) {
   qc.sig = *sig;
   note_verified(qc);  // the accumulator verified the combined signature
   trace(obs::EventKind::kQcFormed, msg.view, msg.round);
+  span(obs::SpanStage::kQcFormed, crypto::digest_prefix_u64(msg.block_id),
+       msg.view, msg.round);
   lock_full(qc, from);
 }
 
@@ -633,6 +635,8 @@ void FallbackReplica::handle_fb_vote(ReplicaId from, const smr::FbVoteMsg& msg) 
   fqc.sig = *sig;
   note_verified(fqc);  // the accumulator verified the combined signature
   trace(obs::EventKind::kFBlockCertified, msg.view, msg.round, msg.height);
+  span(obs::SpanStage::kQcFormed, crypto::digest_prefix_u64(msg.block_id),
+       msg.view, msg.round, msg.height);
   note_fallback_qc(fqc, id());
 
   // ---- Fallback Propose (Fig 2) ----

@@ -18,6 +18,7 @@ ReplicaBase::ReplicaBase(const ReplicaContext& ctx)
       on_block_born_(ctx.on_block_born),
       payload_source_(ctx.payload_source),
       trace_(ctx.trace),
+      spans_(ctx.spans),
       on_commit_(ctx.on_commit),
       fallback_duration_hist_(ctx.fallback_duration_hist),
       wal_(ctx.wal),
@@ -270,6 +271,17 @@ void ReplicaBase::deliver(ReplicaId from, smr::Message&& msg) {
     return;
   }
 
+  if (spans_on()) {
+    // The handler-entry milestone for proposals: queue/verify/decode time
+    // is behind us, protocol work starts now.
+    if (const auto* pm = std::get_if<smr::ProposalMsg>(&msg)) {
+      span(obs::SpanStage::kDispatch, crypto::digest_prefix_u64(pm->block.id),
+           pm->block.view, pm->block.round);
+    } else if (const auto* fp = std::get_if<smr::FbProposalMsg>(&msg)) {
+      span(obs::SpanStage::kDispatch, crypto::digest_prefix_u64(fp->block.id),
+           fp->block.view, fp->block.round, fp->block.height);
+    }
+  }
   handle_message(from, std::move(msg));
 }
 
@@ -284,13 +296,62 @@ SharedBytes ReplicaBase::encode_signed(smr::Message& msg) {
   return payload;
 }
 
+ReplicaBase::SpanPlan ReplicaBase::span_plan(const smr::Message& msg) {
+  SpanPlan p;
+  if (const auto* pm = std::get_if<smr::ProposalMsg>(&msg)) {
+    p = {SpanPlan::kProposal, crypto::digest_prefix_u64(pm->block.id),
+         pm->block.view, pm->block.round, 0};
+  } else if (const auto* fp = std::get_if<smr::FbProposalMsg>(&msg)) {
+    p = {SpanPlan::kProposal, crypto::digest_prefix_u64(fp->block.id),
+         fp->block.view, fp->block.round, fp->block.height};
+  } else if (const auto* v = std::get_if<smr::VoteMsg>(&msg)) {
+    p = {SpanPlan::kVote, crypto::digest_prefix_u64(v->block_id), v->view,
+         v->round, 0};
+  } else if (const auto* fv = std::get_if<smr::FbVoteMsg>(&msg)) {
+    p = {SpanPlan::kVote, crypto::digest_prefix_u64(fv->block_id), fv->view,
+         fv->round, fv->height};
+  }
+  return p;
+}
+
+void ReplicaBase::record_span_plan(const SpanPlan& plan, const SharedBytes& payload) {
+  switch (plan.kind) {
+    case SpanPlan::kProposal:
+      // aux carries the payload content key: the bridge from this block's
+      // protocol-level spans to the transport spans keyed on wire bytes.
+      span(obs::SpanStage::kProposalEncode, plan.key, plan.view, plan.round,
+           obs::span_key_of(*payload));
+      break;
+    case SpanPlan::kVote:
+      span(obs::SpanStage::kVoteSend, plan.key, plan.view, plan.round,
+           plan.height);
+      break;
+    case SpanPlan::kNone:
+      break;
+  }
+}
+
 void ReplicaBase::send(ReplicaId to, smr::Message msg) {
-  net_->send(id_, to, encode_signed(msg));
+  if (!spans_on()) {
+    net_->send(id_, to, encode_signed(msg));
+    return;
+  }
+  const SpanPlan plan = span_plan(msg);
+  SharedBytes payload = encode_signed(msg);
+  record_span_plan(plan, payload);
+  net_->send(id_, to, std::move(payload));
 }
 
 void ReplicaBase::multicast(smr::Message msg) {
   ++stats_.multicast_encodes;
-  net_->multicast(id_, encode_signed(msg));
+  if (!spans_on()) {
+    net_->multicast(id_, encode_signed(msg));
+    return;
+  }
+  const SpanPlan plan = span_plan(msg);
+  SharedBytes payload = encode_signed(msg);
+  record_span_plan(plan, payload);
+  net_->multicast(id_, std::move(payload));
 }
 
 bool ReplicaBase::is_endorsed(const smr::Certificate& cert) const {
@@ -391,6 +452,8 @@ void ReplicaBase::maybe_announce_batch(Round round) {
     if (cfg_.batch_announce && !cfg_.fault.mute()) {
       ++stats_.batches_announced;
       trace(obs::EventKind::kBatchAnnounced, v_cur_, round, 0, batch.data.size());
+      span(obs::SpanStage::kBatchAnnounce, crypto::digest_prefix_u64(batch.id),
+           v_cur_, round, batch.data.size());
       multicast(smr::BatchMsg{batch.data});
     }
   }
@@ -417,6 +480,8 @@ ReplicaBase::PayloadChoice ReplicaBase::take_payload() {
   if (cfg_.batch_announce && !cfg_.fault.mute()) {
     ++stats_.batches_announced;
     trace(obs::EventKind::kBatchAnnounced, v_cur_, r_cur_, 0, batch.data.size());
+    span(obs::SpanStage::kBatchAnnounce, crypto::digest_prefix_u64(batch.id),
+         v_cur_, r_cur_, batch.data.size());
     multicast(smr::BatchMsg{batch.data});
   }
   return {Bytes(batch.id.begin(), batch.id.end()), smr::kBatchRefPayload};
@@ -695,6 +760,8 @@ void ReplicaBase::try_commit_from(const smr::Certificate& cert, ReplicaId hint) 
       const smr::CommitRecord& rec = ledger_.records()[i];
       trace(obs::EventKind::kBlockCommitted, rec.view, rec.round, rec.height,
             smr::BlockIdHash{}(rec.id));
+      span(obs::SpanStage::kCommit, crypto::digest_prefix_u64(rec.id), rec.view,
+           rec.round, rec.height);
       if (on_commit_) on_commit_(rec);
     }
     prune_batch_waiters();

@@ -319,6 +319,28 @@ class ReplicaBase : public IReplica {
     }
   }
 
+  /// Record a commit-lifecycle span milestone at the current sim time.
+  /// Free (one branch) when no span ring is installed; in wall-clock
+  /// rings the push overrides t_us with CLOCK_REALTIME itself.
+  void span(obs::SpanStage stage, std::uint64_t key, View view = 0,
+            Round round = 0, std::uint64_t aux = 0) {
+    if (spans_ && spans_->enabled()) {
+      obs::SpanEvent ev;
+      ev.stage = stage;
+      ev.replica = id_;
+      ev.t_us = sim_->now();
+      ev.key = key;
+      ev.view = view;
+      ev.round = round;
+      ev.aux = aux;
+      spans_->push(ev);
+    }
+  }
+
+  /// True when span recording is live (gates work done only to feed spans,
+  /// e.g. hashing an encoded payload for the transport-correlation key).
+  bool spans_on() const { return spans_ && spans_->enabled(); }
+
   /// Fallback-duration histogram installed by the harness (may be null).
   obs::Histogram* fallback_duration_hist() { return fallback_duration_hist_; }
 
@@ -480,6 +502,7 @@ class ReplicaBase : public IReplica {
   std::function<void(const smr::BlockId&, SimTime)> on_block_born_;
   std::function<Bytes()> payload_source_;
   std::shared_ptr<obs::TraceRing> trace_;
+  std::shared_ptr<obs::SpanRing> spans_;
   std::function<void(const smr::CommitRecord&)> on_commit_;
   obs::Histogram* fallback_duration_hist_ = nullptr;
   storage::Wal* wal_ = nullptr;
@@ -494,6 +517,19 @@ class ReplicaBase : public IReplica {
 
   /// Sign + encode once; shared by send/multicast.
   SharedBytes encode_signed(smr::Message& msg);
+
+  /// Span milestones derived from an outgoing message. Captured *before*
+  /// encode_signed moves the message into the decode cache; the payload
+  /// content key (bridging to transport spans) is only computable after.
+  struct SpanPlan {
+    enum Kind : std::uint8_t { kNone, kProposal, kVote } kind = kNone;
+    std::uint64_t key = 0;  ///< block-id prefix
+    View view = 0;
+    Round round = 0;
+    std::uint64_t height = 0;
+  };
+  static SpanPlan span_plan(const smr::Message& msg);
+  void record_span_plan(const SpanPlan& plan, const SharedBytes& payload);
 
   // Pipelined proposal path state ----------------------------------------
   smr::BatchStore batch_store_;

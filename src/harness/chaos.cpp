@@ -12,6 +12,7 @@
 #include "crypto/sha256.h"
 #include "harness/invariants.h"
 #include "net/delay_model.h"
+#include "obs/flight.h"
 #include "obs/trace.h"
 
 namespace repro::harness {
@@ -213,13 +214,16 @@ struct Watch {
 
 }  // namespace
 
-ChaosResult run_schedule(const ChaosSchedule& s) {
+ChaosResult run_schedule(const ChaosSchedule& s, const std::string& forensics_dir) {
   ExperimentConfig cfg;
   cfg.n = s.n;
   cfg.protocol = s.protocol;
   cfg.seed = s.seed;
   cfg.enable_wal = true;  // restart events need crash recovery
   cfg.trace_capacity = 1 << 14;
+  // Span recording is forensics-only: the fuzz sweep itself stays lean,
+  // and the span stream never feeds the trace sha256 pin either way.
+  if (!forensics_dir.empty()) cfg.span_capacity = 1 << 14;
   cfg.pcfg.base_timeout_us = s.base_timeout_us;
   cfg.pcfg.batch_bytes = s.batch_bytes;
   cfg.pcfg.batch_announce = s.batch_announce;
@@ -358,6 +362,27 @@ ChaosResult run_schedule(const ChaosSchedule& s) {
   const std::string ndjson = exp.traces_ndjson();
   const BytesView view{reinterpret_cast<const std::uint8_t*>(ndjson.data()), ndjson.size()};
   res.trace_sha256 = to_hex(crypto::sha256(view));
+
+  if (!res.ok && !forensics_dir.empty()) {
+    obs::FlightRecorder::Sources src;
+    src.traces = [&exp] { return exp.traces_ndjson(); };
+    src.spans = [&exp] { return exp.spans_ndjson(); };
+    src.metrics = [&exp] { return exp.registry().snapshot().ndjson(); };
+    src.manifest_extra = [&s, &res] {
+      return ",\"seed\":" + std::to_string(s.seed) +
+             ",\"n\":" + std::to_string(s.n) +
+             ",\"failure_time_us\":" + std::to_string(res.failure_time_us) +
+             ",\"commits\":" + std::to_string(res.commits) +
+             ",\"trace_sha256\":\"" + res.trace_sha256 + "\"";
+    };
+    // One subdirectory per seed: a fresh recorder restarts its bundle
+    // sequence at 0, so dumping straight into `forensics_dir` would make
+    // every repro of a sweep overwrite the previous one's bundle.
+    obs::FlightRecorder flight(forensics_dir + "/seed-" + std::to_string(s.seed),
+                               src);
+    res.forensics_path =
+        flight.dump(res.failure_kind.empty() ? "failure" : res.failure_kind);
+  }
   return res;
 }
 
@@ -744,6 +769,13 @@ FuzzStats ChaosFuzzer::run(const std::function<void(std::uint64_t, const ChaosRe
         fail.result = res;
       }
       fail.shrunk.expect_trace_sha256 = fail.result.trace_sha256;
+      if (!opt_.forensics_dir.empty()) {
+        // Re-execute the minimal repro with spans on: the bundle then
+        // captures the failing run's full trace/span/metrics window next
+        // to the replayable schedule artifact.
+        const ChaosResult forensic = run_schedule(fail.shrunk, opt_.forensics_dir);
+        fail.forensics_path = forensic.forensics_path;
+      }
       st.found.push_back(std::move(fail));
     }
     if (on_progress) on_progress(seed, res);

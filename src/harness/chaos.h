@@ -82,6 +82,9 @@ struct ChaosResult {
   std::uint64_t fallbacks_won = 0;
   double win_rate = 0.0;
   std::string trace_sha256;
+  /// Flight-recorder bundle written for a failing run (empty unless the
+  /// run failed and a forensics dir was given).
+  std::string forensics_path;
 };
 
 struct ChaosGenOptions {
@@ -94,8 +97,11 @@ ChaosSchedule generate_schedule(std::uint64_t seed, const ChaosGenOptions& opt =
 
 /// Execute a schedule: build the Experiment (WAL on, tracing on), apply
 /// every event at its time, check invariants at every commit, then the
-/// end-to-end safety report and trace analysis. Deterministic.
-ChaosResult run_schedule(const ChaosSchedule& s);
+/// end-to-end safety report and trace analysis. Deterministic. When
+/// `forensics_dir` is non-empty, commit-lifecycle spans are recorded too
+/// and a failing run dumps a flight-recorder bundle (trace + span +
+/// metrics snapshots) under that directory; see ChaosResult::forensics_path.
+ChaosResult run_schedule(const ChaosSchedule& s, const std::string& forensics_dir = "");
 
 // ---- replay artifacts --------------------------------------------------
 std::string schedule_to_json(const ChaosSchedule& s);
@@ -122,6 +128,7 @@ struct FuzzFailure {
   ChaosSchedule shrunk;  ///< expect_trace_sha256 already pinned
   ChaosResult result;
   std::size_t shrink_runs = 0;
+  std::string forensics_path;  ///< bundle for the shrunk repro (may be empty)
 };
 
 struct FuzzStats {
@@ -146,6 +153,9 @@ class ChaosFuzzer {
     /// the one intentionally non-deterministic knob: it bounds how many
     /// seeds run, never what any individual seed does.
     std::uint64_t wall_limit_ms = 0;
+    /// Non-empty: every shrunk repro is re-executed with span recording
+    /// on and its flight-recorder bundle written under this directory.
+    std::string forensics_dir;
   };
 
   explicit ChaosFuzzer(Options opt) : opt_(std::move(opt)) {}

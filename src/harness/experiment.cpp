@@ -39,6 +39,12 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
   fallback_duration_hist_ = &registry_.histogram("repro_fallback_duration_us");
   net::register_net_stats(registry_, net_->stats());
 
+  if (cfg_.span_capacity > 0) {
+    // One shared ring: the sim executor is single-threaded, so events land
+    // in causal order and the analyzer needs no merge.
+    spans_ = std::make_shared<obs::SpanRing>(cfg_.span_capacity, /*wall_clock=*/false);
+  }
+
   replicas_.reserve(cfg_.n);
   for (ReplicaId id = 0; id < cfg_.n; ++id) {
     core::ReplicaContext ctx;
@@ -71,6 +77,7 @@ Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
       traces_.push_back(std::make_shared<obs::TraceRing>(cap, /*wall_clock=*/false));
       ctx.trace = traces_.back();
     }
+    ctx.spans = spans_;
     ctx.on_commit = [this, id](const smr::CommitRecord& rec) {
       auto it = births_.find(rec.id);
       if (it != births_.end() && rec.commit_time >= it->second) {
@@ -291,6 +298,15 @@ std::string Experiment::traces_ndjson() const {
   return obs::to_ndjson(trace_events());
 }
 
+std::vector<obs::SpanEvent> Experiment::span_events() const {
+  if (!spans_) return {};
+  return spans_->events();
+}
+
+std::string Experiment::spans_ndjson() const {
+  return obs::spans_to_ndjson(span_events());
+}
+
 namespace {
 bool write_file(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -302,6 +318,10 @@ bool write_file(const std::string& path, const std::string& content) {
 
 bool Experiment::write_traces(const std::string& path) const {
   return write_file(path, traces_ndjson());
+}
+
+bool Experiment::write_spans(const std::string& path) const {
+  return write_file(path, spans_ndjson());
 }
 
 bool Experiment::write_metrics(const std::string& path) const {

@@ -68,6 +68,12 @@ struct ExperimentConfig {
   /// replicas then skip event recording entirely).
   std::size_t trace_capacity = 0;
 
+  /// Commit-lifecycle span ring capacity (events), shared by all replicas;
+  /// 0 disables span recording entirely (DESIGN.md §15). A single ring is
+  /// correct under the sim's one-threaded executor and keeps the merged
+  /// stream already in causal order.
+  std::size_t span_capacity = 0;
+
   /// Optional per-replica byte budget for the trace ring (0 = no clamp).
   /// Rings preallocate capacity * sizeof(TraceEvent) up front, which at
   /// n=300 with a 2^18-event ring would commit ~4 GiB across replicas;
@@ -156,6 +162,15 @@ class Experiment {
   /// NDJSON of the merged timeline (deterministic for identical runs).
   std::string traces_ndjson() const;
 
+  /// Commit-lifecycle span ring (null unless cfg.span_capacity > 0).
+  const std::shared_ptr<obs::SpanRing>& spans() const { return spans_; }
+  /// All recorded span events (empty when spans are disabled).
+  std::vector<obs::SpanEvent> span_events() const;
+  /// NDJSON of the span stream — a separate stream from traces_ndjson(),
+  /// so seeded trace pins are untouched by span configuration.
+  std::string spans_ndjson() const;
+  bool write_spans(const std::string& path) const;
+
   /// Write the merged NDJSON trace / a registry metrics snapshot to a
   /// file. Returns false on I/O failure.
   bool write_traces(const std::string& path) const;
@@ -193,6 +208,8 @@ class Experiment {
   obs::Registry registry_;
   /// Per-replica trace rings (empty when tracing is disabled).
   std::vector<std::shared_ptr<obs::TraceRing>> traces_;
+  /// Shared commit-lifecycle span ring (null when spans are disabled).
+  std::shared_ptr<obs::SpanRing> spans_;
   obs::Histogram* commit_latency_hist_ = nullptr;    ///< owned by registry_
   obs::Histogram* fallback_duration_hist_ = nullptr; ///< owned by registry_
 };

@@ -24,9 +24,17 @@ void send_all(int fd, const char* data, std::size_t len) {
   }
 }
 
+const char* reason_phrase(int code) {
+  switch (code) {
+    case 200: return " OK";
+    case 400: return " Bad Request";
+    case 503: return " Service Unavailable";
+    default: return " Not Found";
+  }
+}
+
 void respond(int fd, int code, const char* content_type, const std::string& body) {
-  std::string head = "HTTP/1.0 " + std::to_string(code) +
-                     (code == 200 ? " OK" : " Not Found") +
+  std::string head = "HTTP/1.0 " + std::to_string(code) + reason_phrase(code) +
                      "\r\nContent-Type: " + content_type +
                      "\r\nContent-Length: " + std::to_string(body.size()) +
                      "\r\nConnection: close\r\n\r\n";
@@ -36,9 +44,8 @@ void respond(int fd, int code, const char* content_type, const std::string& body
 
 }  // namespace
 
-AdminServer::AdminServer(std::uint16_t port, const Registry* registry,
-                         std::shared_ptr<const TraceRing> trace)
-    : registry_(registry), trace_(std::move(trace)) {
+AdminServer::AdminServer(std::uint16_t port, Options options)
+    : opts_(std::move(options)) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return;
   int one = 1;
@@ -59,8 +66,18 @@ AdminServer::AdminServer(std::uint16_t port, const Registry* registry,
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
   port_ = ntohs(addr.sin_port);
   thread_ = std::thread([this] { serve_loop(); });
-  LOG_INFO("admin: serving /metrics and /trace on 127.0.0.1:%u", unsigned(port_));
+  LOG_INFO("admin: serving /metrics /trace /spans /healthz /dump on 127.0.0.1:%u",
+           unsigned(port_));
 }
+
+AdminServer::AdminServer(std::uint16_t port, const Registry* registry,
+                         std::shared_ptr<const TraceRing> trace)
+    : AdminServer(port, [&] {
+        Options o;
+        o.registry = registry;
+        o.trace = std::move(trace);
+        return o;
+      }()) {}
 
 AdminServer::~AdminServer() {
   stop_.store(true, std::memory_order_relaxed);
@@ -89,19 +106,55 @@ void AdminServer::handle_client(int fd) {
   const ssize_t n = ::recv(fd, buf, sizeof buf - 1, 0);
   if (n <= 0) return;
   buf[n] = '\0';
-  // "GET <path> HTTP/1.x" — only the path matters.
-  std::string req(buf);
+  // "GET <path> HTTP/1.x" — only the path matters. A request line that
+  // does not fit the read buffer, or whose first line has no space after
+  // the path, is rejected rather than guessed at.
+  std::string req(buf, static_cast<std::size_t>(n));
   std::string path;
+  bool malformed = true;
   if (req.rfind("GET ", 0) == 0) {
+    const std::size_t line_end = req.find_first_of("\r\n");
     const std::size_t end = req.find(' ', 4);
-    if (end != std::string::npos) path = req.substr(4, end - 4);
+    if (end != std::string::npos && (line_end == std::string::npos || end < line_end)) {
+      path = req.substr(4, end - 4);
+      malformed = path.empty() || path[0] != '/';
+    }
+  }
+  if (static_cast<std::size_t>(n) == sizeof buf - 1 &&
+      req.find("\r\n") == std::string::npos && req.find('\n') == std::string::npos) {
+    malformed = true;  // oversized request line, truncated mid-way
+  }
+  if (malformed) {
+    respond(fd, 400, "text/plain", "bad request\n");
+    return;
   }
   if (path == "/healthz") {
-    respond(fd, 200, "text/plain", "ok\n");
-  } else if (path == "/metrics" && registry_ != nullptr) {
-    respond(fd, 200, "text/plain; version=0.0.4", registry_->snapshot().prometheus());
-  } else if (path == "/trace" && trace_ != nullptr) {
-    respond(fd, 200, "application/x-ndjson", to_ndjson(trace_->events()));
+    if (opts_.health_fn) {
+      const auto [code, body] = opts_.health_fn();
+      respond(fd, code, "text/plain", body);
+    } else {
+      respond(fd, 200, "text/plain", "ok\n");
+    }
+  } else if (path == "/metrics" && opts_.registry != nullptr) {
+    respond(fd, 200, "text/plain; version=0.0.4", opts_.registry->snapshot().prometheus());
+  } else if (path == "/trace" && opts_.trace != nullptr) {
+    // Meta line first so tracecat can report ring drops per replica even
+    // when the retained window itself is gappy.
+    TraceMeta meta;
+    meta.replica = opts_.replica;
+    meta.dropped = opts_.trace->dropped();
+    meta.recorded = opts_.trace->recorded();
+    respond(fd, 200, "application/x-ndjson",
+            trace_meta_line(meta) + to_ndjson(opts_.trace->events()));
+  } else if (path == "/spans" && opts_.spans != nullptr) {
+    respond(fd, 200, "application/x-ndjson", spans_to_ndjson(opts_.spans->events()));
+  } else if (path == "/dump" && opts_.dump_fn) {
+    const std::string bundle = opts_.dump_fn();
+    if (bundle.empty()) {
+      respond(fd, 503, "text/plain", "dump failed\n");
+    } else {
+      respond(fd, 200, "text/plain", bundle + "\n");
+    }
   } else {
     respond(fd, 404, "text/plain", "not found\n");
   }

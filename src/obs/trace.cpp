@@ -186,6 +186,12 @@ std::vector<TraceEvent> parse_ndjson(const std::string& text,
     const std::string line = text.substr(pos, nl - pos);
     pos = nl + 1;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    // Mixed observability streams interleave span lines and ring-health
+    // meta lines with trace events; neither is malformed, just not ours.
+    if (line.find("\"stage\":") != std::string::npos ||
+        line.find("\"trace_meta\":") != std::string::npos) {
+      continue;
+    }
     std::string name;
     TraceEvent ev;
     std::uint64_t replica = 0;
@@ -204,6 +210,31 @@ std::vector<TraceEvent> parse_ndjson(const std::string& text,
   }
   if (bad_lines != nullptr) *bad_lines = bad;
   return out;
+}
+
+std::string trace_meta_line(const TraceMeta& meta) {
+  std::string out = "{\"trace_meta\":1,\"replica\":";
+  append_u64(out, meta.replica);
+  out += ",\"dropped\":";
+  append_u64(out, meta.dropped);
+  out += ",\"recorded\":";
+  append_u64(out, meta.recorded);
+  out += "}\n";
+  return out;
+}
+
+bool parse_trace_meta_line(const std::string& line, TraceMeta* out) {
+  if (line.find("\"trace_meta\":") == std::string::npos) return false;
+  std::uint64_t replica = 0;
+  TraceMeta meta;
+  if (!json_u64(line, "replica", &replica) ||
+      !json_u64(line, "dropped", &meta.dropped) ||
+      !json_u64(line, "recorded", &meta.recorded)) {
+    return false;
+  }
+  meta.replica = static_cast<ReplicaId>(replica);
+  *out = meta;
+  return true;
 }
 
 std::vector<TraceEvent> merge_traces(

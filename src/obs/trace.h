@@ -109,8 +109,26 @@ std::string to_ndjson(const std::vector<TraceEvent>& events);
 
 /// Parse NDJSON produced by to_ndjson (tolerates unknown keys and blank
 /// lines; unknown `ev` names or malformed lines are skipped and counted).
+/// Span lines ("stage" field) and ring-health meta lines ("trace_meta")
+/// from mixed streams are skipped silently, not counted as bad.
 std::vector<TraceEvent> parse_ndjson(const std::string& text,
                                      std::size_t* bad_lines = nullptr);
+
+/// Ring-health side channel: admin endpoints and forensics bundles append
+/// one meta line per ring so downstream analyzers can tell a complete
+/// window from one the ring overwrote. Never emitted by the seeded-sim
+/// artifact writers (the determinism pins hash those streams).
+struct TraceMeta {
+  ReplicaId replica = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t recorded = 0;
+};
+
+/// {"trace_meta":1,"replica":R,"dropped":D,"recorded":N}\n
+std::string trace_meta_line(const TraceMeta& meta);
+
+/// Parses a single line; returns false unless it is a meta line.
+bool parse_trace_meta_line(const std::string& line, TraceMeta* out);
 
 /// Merge per-replica event streams into one global timeline ordered by
 /// (t_us, replica, arrival index) — deterministic for identical inputs.

@@ -38,6 +38,51 @@ void write_le32(std::uint8_t* p, std::uint32_t v) {
   p[3] = std::uint8_t(v >> 24);
 }
 
+std::uint64_t read_le64(const std::uint8_t* p) {
+  return std::uint64_t(read_le32(p)) | (std::uint64_t(read_le32(p + 4)) << 32);
+}
+
+void write_le64(std::uint8_t* p, std::uint64_t v) {
+  write_le32(p, static_cast<std::uint32_t>(v));
+  write_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// CLOCK_REALTIME microseconds, for cross-process clock-offset estimation
+/// (the span ring stamps the same clock, so offsets apply directly).
+std::uint64_t wall_clock_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000 +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1'000;
+}
+
+/// Transport-level control frames ride tag 0 — smr::MsgType starts at 1,
+/// so a protocol message can never begin with a zero byte and the wire
+/// format needs no change. Only emitted when spans are enabled; a
+/// spans-off cluster sends byte-identical traffic to a spans-free build.
+constexpr std::uint8_t kCtrlTag = 0;
+constexpr std::uint8_t kCtrlPing = 1;  ///< {0, 1, t1:le64} — sender wall us
+constexpr std::uint8_t kCtrlPong = 2;  ///< {0, 2, t1:le64, t2:le64} — echo + responder wall us
+constexpr std::size_t kPingFrameBytes = 10;
+constexpr std::size_t kPongFrameBytes = 18;
+/// Ping cadence per peer while spans are on. One round per second is
+/// plenty: the analyzer keeps the min-RTT sample per directed pair across
+/// the whole run, and clock drift over seconds is far below the
+/// millisecond-scale stages the offsets are used to align. Pinging
+/// faster just burns O(n^2) control frames per interval — at n=16 and
+/// 250 ms that was ~2k extra frames/s of pure measurement traffic.
+constexpr SimTime kPingIntervalUs = 1'000'000;
+
+/// Does this wire payload carry a (steady or fallback) proposal? Only
+/// those frames get transport spans — the critical path runs proposer ->
+/// voters, and keying every vote/share frame would triple span volume for
+/// stages the analyzer never stitches.
+bool is_proposal_tag(const Bytes& payload) {
+  if (payload.empty()) return false;
+  return payload[0] == static_cast<std::uint8_t>(smr::MsgType::kProposal) ||
+         payload[0] == static_cast<std::uint8_t>(smr::MsgType::kFbProposal);
+}
+
 /// Hard cap on connections parked in conns_ awaiting their hello. Together
 /// with the hello deadline this bounds what an accept flood can pin: at
 /// most this many fds, each for at most hello_timeout.
@@ -182,6 +227,7 @@ std::vector<VerifyPool::Result> VerifyPool::drain_ready() {
         const std::uint64_t lat_ns = lat_us * 1000;
         const std::uint64_t next = old == 0 ? lat_ns : old - old / 8 + lat_ns / 8;
         handoff_ns_ewma_.store(next, std::memory_order_relaxed);
+        s.r.wait_us = lat_us;
         out.push_back(std::move(s.r));
         shard.slots.pop_front();
       }
@@ -255,7 +301,7 @@ void VerifyPool::worker_loop() {
 
 // ---- SendQueue --------------------------------------------------------------
 
-bool SendQueue::push(SharedBytes payload, net::NetStats* stats) {
+bool SendQueue::push(SharedBytes payload, net::NetStats* stats, std::uint64_t span_key) {
   REPRO_ASSERT(payload != nullptr && payload->size() <= kMaxFrame);
   const std::size_t frame_bytes = 4 + payload->size();
   if (queued_bytes_ + frame_bytes > max_bytes_) {
@@ -268,6 +314,10 @@ bool SendQueue::push(SharedBytes payload, net::NetStats* stats) {
   Frame f;
   write_le32(f.header.data(), static_cast<std::uint32_t>(payload->size()));
   f.payload = std::move(payload);
+  if (span_key != 0 && spans_ != nullptr) {
+    f.span_key = span_key;
+    f.enqueued_tick_us = steady_tick_us();
+  }
   frames_.push_back(std::move(f));
   queued_bytes_ += frame_bytes;
   return true;
@@ -326,6 +376,18 @@ SendQueue::FlushResult SendQueue::flush(int fd, net::NetStats* stats) {
       }
       remaining -= left;
       head_offset_ = 0;
+      if (f.span_key != 0 && spans_ != nullptr) {
+        // The frame fully left the process: queue-wait is over, the wire
+        // hop starts. aux carries the send-queue wait; the wall-clock ring
+        // stamps t_us itself.
+        obs::SpanEvent ev;
+        ev.stage = obs::SpanStage::kSendFlush;
+        ev.replica = span_self_;
+        ev.peer = span_peer_;
+        ev.key = f.span_key;
+        ev.aux = steady_tick_us() - f.enqueued_tick_us;
+        spans_->push(ev);
+      }
       frames_.pop_front();
       if (stats != nullptr) stats->writev_frames += 1;
     }
@@ -425,7 +487,15 @@ class TcpNode::TcpNetwork final : public net::INetwork {
     if (cit == node_.conns_.end()) return;
     const std::size_t size = payload->size();
     const std::uint8_t tag = size > 0 ? (*payload)[0] : 0xFF;
-    if (!cit->second.outbox.push(std::move(payload), &stats_)) return;  // backpressure drop
+    // Proposal frames carry a content key so the send-queue flush span can
+    // be joined with the receiver's socket-read span downstream.
+    const std::uint64_t span_key =
+        node_.spans_on() && is_proposal_tag(*payload)
+            ? obs::span_key_of(payload->data(), payload->size())
+            : 0;
+    if (!cit->second.outbox.push(std::move(payload), &stats_, span_key)) {
+      return;  // backpressure drop
+    }
     stats_.messages += 1;
     stats_.bytes += size;
     if (size > 0 && tag < stats_.messages_by_type.size()) {
@@ -529,8 +599,62 @@ void TcpNode::try_connect(ReplicaId peer) {
   Conn conn;
   conn.peer = peer;
   conn.outbox = SendQueue(cfg_.send_queue_max_bytes);
+  if (spans_on()) conn.outbox.set_span_sink(cfg_.spans.get(), cfg_.id, peer);
   conns_.emplace(fd, std::move(conn));
   fd_of_peer_[peer] = fd;
+}
+
+void TcpNode::handle_control_frame(Conn& conn, const Bytes& payload) {
+  if (conn.peer == kUnknownPeer || payload.size() < 2) return;
+  if (payload[1] == kCtrlPing && payload.size() >= kPingFrameBytes) {
+    // Echo t1, append our wall clock. Control frames bypass NetStats so
+    // the protocol traffic ledger matches a spans-off run.
+    Bytes pong(kPongFrameBytes);
+    pong[0] = kCtrlTag;
+    pong[1] = kCtrlPong;
+    std::memcpy(pong.data() + 2, payload.data() + 2, 8);
+    write_le64(pong.data() + 10, wall_clock_us());
+    conn.outbox.push(make_shared_bytes(std::move(pong)), nullptr);
+    return;
+  }
+  if (payload[1] == kCtrlPong && payload.size() >= kPongFrameBytes) {
+    if (!spans_on()) return;  // we never pinged; stray pong
+    const std::uint64_t t1 = read_le64(payload.data() + 2);
+    const std::uint64_t t2 = read_le64(payload.data() + 10);
+    const std::uint64_t t3 = wall_clock_us();
+    if (t3 < t1) return;
+    const std::uint64_t rtt = t3 - t1;
+    auto [it, fresh] = ping_best_rtt_.emplace(conn.peer, rtt);
+    if (!fresh && rtt > it->second) return;  // keep the min-RTT estimate
+    it->second = rtt;
+    // RTT-midpoint offset (NTP's two-point sample): assume the pong spent
+    // rtt/2 in flight, so the peer's clock read t2 corresponds to our
+    // t1 + rtt/2. Only improved estimates are published; the analyzer
+    // takes the last one per pair.
+    const std::int64_t offset = static_cast<std::int64_t>(t2) -
+                                static_cast<std::int64_t>(t1 + rtt / 2);
+    obs::SpanEvent ev;
+    ev.stage = obs::SpanStage::kClockOffset;
+    ev.replica = cfg_.id;
+    ev.peer = conn.peer;
+    ev.key = conn.peer;
+    std::memcpy(&ev.aux, &offset, sizeof ev.aux);
+    cfg_.spans->push(ev);
+  }
+}
+
+void TcpNode::send_pings() {
+  const SimTime now = executor_.now();
+  if (now < next_ping_at_) return;
+  next_ping_at_ = now + kPingIntervalUs;
+  for (auto& [fd, conn] : conns_) {
+    if (conn.peer == kUnknownPeer) continue;
+    Bytes ping(kPingFrameBytes);
+    ping[0] = kCtrlTag;
+    ping[1] = kCtrlPing;
+    write_le64(ping.data() + 2, wall_clock_us());
+    conn.outbox.push(make_shared_bytes(std::move(ping)), nullptr);
+  }
 }
 
 void TcpNode::close_peer(int fd) {
@@ -569,6 +693,15 @@ void TcpNode::sweep_half_open() {
 }
 
 void TcpNode::on_frame(ReplicaId from, Bytes payload) {
+  if (spans_on() && is_proposal_tag(payload)) {
+    obs::SpanEvent ev;
+    ev.stage = obs::SpanStage::kSocketRead;
+    ev.replica = cfg_.id;
+    ev.peer = from;
+    ev.key = obs::span_key_of(payload.data(), payload.size());
+    ev.aux = payload.size();
+    cfg_.spans->push(ev);
+  }
   if (verify_pool_) {
     VerifyPool::Item item;
     item.from = from;
@@ -643,6 +776,15 @@ void TcpNode::drain_verified() {
   if (!verify_pool_) return;
   for (auto& r : verify_pool_->drain_ready()) {
     --verify_pending_by_sender_[r.from];
+    if (spans_on() && is_proposal_tag(r.payload)) {
+      obs::SpanEvent ev;
+      ev.stage = obs::SpanStage::kVerifyDequeue;
+      ev.replica = cfg_.id;
+      ev.peer = r.from;
+      ev.key = obs::span_key_of(r.payload.data(), r.payload.size());
+      ev.aux = r.wait_us;
+      cfg_.spans->push(ev);
+    }
     if (r.msg && r.sig_ok) {
       // Seed the shared decode cache (marking the sender verified), so the
       // replica's delivery below is a pure cache hit: no parse, no
@@ -696,6 +838,7 @@ std::size_t TcpNode::handle_readable(int fd) {
     }
     conn.peer = peer;
     fd_of_peer_[peer] = fd;
+    if (spans_on()) conn.outbox.set_span_sink(cfg_.spans.get(), cfg_.id, peer);
   }
 
   // Extract complete frames.
@@ -709,6 +852,14 @@ std::size_t TcpNode::handle_readable(int fd) {
     if (conn.inbox.size() - offset - 4 < len) break;
     Bytes payload(conn.inbox.begin() + offset + 4, conn.inbox.begin() + offset + 4 + len);
     offset += 4 + len;
+    if (len > 0 && payload[0] == kCtrlTag) {
+      // Transport control plane (clock-sync ping/pong): consumed here,
+      // never delivered to the replica. Peers only emit these with spans
+      // on, but tolerate them regardless — mixed-config clusters must not
+      // feed a zero-tag frame into message decode.
+      handle_control_frame(conn, payload);
+      continue;
+    }
     on_frame(conn.peer, std::move(payload));
     // on_frame can close fd via a send failure; revalidate.
     it = conns_.find(fd);
@@ -740,9 +891,15 @@ void TcpNode::run_loop() {
   ctx.wal = cfg_.wal;
   ctx.decode_cache = decode_cache_;
   ctx.trace = cfg_.trace;
+  ctx.spans = cfg_.spans;
   replica_ = factory_(ctx);
-  replica_->ledger().set_commit_callback(
-      [this](const smr::Block&, SimTime) { committed_.fetch_add(1); });
+  replica_->ledger().set_commit_callback([this](const smr::Block&, SimTime) {
+    committed_.fetch_add(1);
+    // Liveness beacon for /healthz and the stall watchdog: wall time of
+    // the most recent local commit (relaxed — the reader only compares
+    // against "now" with millisecond tolerance).
+    last_commit_wall_us_.store(wall_clock_us(), std::memory_order_relaxed);
+  });
   if (cfg_.registry != nullptr) {
     // The counters live inside the replica/network owned by this thread;
     // attach is serialized by the registry mutex and each counter read is
@@ -904,6 +1061,13 @@ void TcpNode::run_loop() {
     }
 
     executor_.run_due();
+
+    // Health snapshot for the admin thread; clock-sync pings ride the
+    // same cadence check (spans only — a spans-off run stays wire- and
+    // stats-identical to the seed).
+    view_.store(replica_->current_view(), std::memory_order_relaxed);
+    round_.store(replica_->current_round(), std::memory_order_relaxed);
+    if (spans_on()) send_pings();
 
     // Everything produced this iteration (frame handlers, verified
     // deliveries, due timers) is queued by now; one vectored write per

@@ -111,8 +111,19 @@ class SendQueue {
   explicit SendQueue(std::size_t max_bytes) : max_bytes_(max_bytes == 0 ? 1 : max_bytes) {}
 
   /// Enqueue one frame. Returns false — counting the drop into `stats` —
-  /// when the frame would push the queue past its byte bound.
-  bool push(SharedBytes payload, net::NetStats* stats);
+  /// when the frame would push the queue past its byte bound. `stats` may
+  /// be null (transport-internal control frames stay out of the protocol
+  /// traffic ledger). A nonzero `span_key` marks the frame for a
+  /// kSendFlush span (queue-wait accounting) when it fully retires.
+  bool push(SharedBytes payload, net::NetStats* stats, std::uint64_t span_key = 0);
+
+  /// Install the span sink for kSendFlush records: `self` is the sending
+  /// replica, `peer` the destination this queue feeds. Null disables.
+  void set_span_sink(obs::SpanRing* spans, ReplicaId self, ReplicaId peer) {
+    spans_ = spans;
+    span_self_ = self;
+    span_peer_ = peer;
+  }
 
   enum class FlushResult {
     kDrained,   ///< queue fully written
@@ -138,9 +149,14 @@ class SendQueue {
   struct Frame {
     std::array<std::uint8_t, 4> header;
     SharedBytes payload;
+    std::uint64_t span_key = 0;         ///< 0 = no kSendFlush span
+    std::uint64_t enqueued_tick_us = 0; ///< steady clock at push (spans only)
   };
 
   std::size_t max_bytes_;
+  obs::SpanRing* spans_ = nullptr;  ///< not owned; null = spans off
+  ReplicaId span_self_ = 0;
+  ReplicaId span_peer_ = 0;
   std::deque<Frame> frames_;
   /// Bytes of the front frame already written (spans header then payload).
   std::size_t head_offset_ = 0;
@@ -197,6 +213,7 @@ class VerifyPool {
     crypto::Digest key{};  ///< decode-cache content key of `payload`
     std::optional<smr::Message> msg;
     bool sig_ok = false;
+    std::uint64_t wait_us = 0;  ///< submit -> drain pool round trip
   };
 
   /// Frames a worker claims per lock acquisition.
@@ -366,6 +383,13 @@ struct NodeConfig {
   /// Optional structured trace sink shared with the replica. Wall-clock
   /// stamping should be enabled by the creator (real-time runtime).
   std::shared_ptr<obs::TraceRing> trace;
+  /// Optional commit-lifecycle span sink, usually one wall-clock ring
+  /// shared by every node of an in-process cluster (obs/span.h). Enables
+  /// the transport milestones (socket read, verify-pool wait, send-queue
+  /// flush) and the tag-0 ping/pong clock-offset estimator; when unset or
+  /// capacity 0, neither exists — the wire traffic is byte-identical to a
+  /// spans-free build.
+  std::shared_ptr<obs::SpanRing> spans;
 };
 
 /// Builds the protocol instance for a node. Lets the transport host any
@@ -391,6 +415,14 @@ class TcpNode {
   /// Commits observed so far (thread-safe).
   std::uint64_t committed() const { return committed_.load(std::memory_order_relaxed); }
 
+  /// Liveness probes for /healthz (thread-safe, relaxed reads; refreshed
+  /// once per poll iteration on the node thread).
+  std::uint64_t last_commit_wall_us() const {
+    return last_commit_wall_us_.load(std::memory_order_relaxed);
+  }
+  View current_view() const { return view_.load(std::memory_order_relaxed); }
+  Round current_round() const { return round_.load(std::memory_order_relaxed); }
+
   /// Direct replica access — only safe after stop() (the node thread owns
   /// the replica while running).
   const core::IReplica& replica() const { return *replica_; }
@@ -403,6 +435,7 @@ class TcpNode {
 
  private:
   class TcpNetwork;
+  struct Conn;
 
   void run_loop();
   void try_connect(ReplicaId peer);
@@ -471,9 +504,25 @@ class TcpNode {
   /// allocation per message.
   std::deque<SharedBytes> self_inbox_;
 
+  /// True when the span ring is installed and live (gates every transport
+  /// span site and the clock-sync pings).
+  bool spans_on() const { return cfg_.spans && cfg_.spans->enabled(); }
+  /// Intercepts tag-0 transport control frames (clock-sync ping/pong)
+  /// before protocol dispatch; only exists when spans are on.
+  void handle_control_frame(Conn& conn, const Bytes& payload);
+  /// Multicast a clock-sync ping to every identified peer (spans on only).
+  void send_pings();
+
   std::thread thread_;
   std::atomic<bool> stop_flag_{false};
   std::atomic<std::uint64_t> committed_{0};
+  std::atomic<std::uint64_t> last_commit_wall_us_{0};
+  std::atomic<View> view_{0};
+  std::atomic<Round> round_{0};
+  /// Clock-offset estimation state (node thread only): best observed RTT
+  /// per peer; a pong at or under it refreshes the offset estimate.
+  std::map<ReplicaId, std::uint64_t> ping_best_rtt_;
+  SimTime next_ping_at_ = 0;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
 

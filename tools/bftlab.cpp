@@ -129,6 +129,10 @@ void usage_fuzz() {
       "                 schedule (self-test: the fuzzer must find it)\n"
       "  --no-shrink    keep failing schedules unminimized\n"
       "  --out DIR      write repro-<seed>.json per failure into DIR\n"
+      "  --forensics-out DIR\n"
+      "                 re-run every shrunk repro with span recording on\n"
+      "                 and write its flight-recorder bundle (trace, span\n"
+      "                 and metrics snapshots) into DIR\n"
       "  --json FILE    write the sweep summary as JSON to FILE\n"
       "  --replay FILE  re-execute one schedule artifact; exits nonzero\n"
       "                 unless the trace sha256 matches its pin\n"
@@ -194,6 +198,8 @@ int run_fuzz(int argc, char** argv) {
       opt.shrink = false;
     } else if (arg == "--out") {
       out_dir = next();
+    } else if (arg == "--forensics-out") {
+      opt.forensics_dir = next();
     } else if (arg == "--json") {
       json_out = next();
     } else if (arg == "--replay") {
@@ -232,6 +238,11 @@ int run_fuzz(int argc, char** argv) {
         std::printf("fuzz: seed %llu shrunk to %zu events (%zu shrink runs) -> %s\n",
                     static_cast<unsigned long long>(fail.seed), fail.shrunk.events.size(),
                     fail.shrink_runs, path.c_str());
+        if (!fail.forensics_path.empty()) {
+          std::printf("fuzz: seed %llu forensics bundle -> %s\n",
+                      static_cast<unsigned long long>(fail.seed),
+                      fail.forensics_path.c_str());
+        }
       }
     }
   }

@@ -16,10 +16,19 @@
 //   wal = node0.wal            # optional: durable vote state
 //   report_ms = 1000           # status line interval (0 = quiet)
 //   admin_port = 9100          # optional: serve GET /metrics (Prometheus
-//                              # text), /trace (NDJSON) and /healthz on
-//                              # 127.0.0.1:<port>; 0 (default) = off
+//                              # text), /trace and /spans (NDJSON),
+//                              # /healthz (liveness) and /dump (forensics
+//                              # bundle) on 127.0.0.1:<port>; 0 = off
 //   trace_capacity = 65536     # trace ring size (events) when admin_port
 //                              # is set; 0 disables tracing
+//   span_capacity = 65536      # commit-lifecycle span ring size (events)
+//                              # when admin_port is set; 0 disables spans
+//                              # (and the clock-sync ping frames)
+//   forensics_dir = ./bundles  # optional: flight-recorder output dir;
+//                              # enables GET /dump and watchdog dumps
+//   stall_timeout_ms = 0       # commit-stall watchdog: /healthz turns 503
+//                              # and (once) dumps a forensics bundle when
+//                              # no commit lands for this long; 0 = off
 //
 // Every node of a cluster must use the same `seed` and the same peer
 // list: the trusted-dealer keys are derived deterministically from the
@@ -33,6 +42,7 @@
 #include "core/diembft.h"
 #include "core/fallback.h"
 #include "obs/admin.h"
+#include "obs/flight.h"
 #include "transport/node.h"
 
 using namespace repro;
@@ -120,23 +130,90 @@ int main(int argc, char** argv) {
   const auto admin_port = static_cast<std::uint16_t>(cfg_file->get_int("admin_port", 0));
   const auto trace_capacity =
       static_cast<std::size_t>(cfg_file->get_int("trace_capacity", 65536));
+  const auto span_capacity =
+      static_cast<std::size_t>(cfg_file->get_int("span_capacity", 65536));
+  const std::string forensics_dir = cfg_file->get_str("forensics_dir", "");
+  const auto stall_timeout_us =
+      static_cast<std::uint64_t>(cfg_file->get_int("stall_timeout_ms", 0)) * 1000;
   std::shared_ptr<obs::TraceRing> trace;
   if (admin_port != 0 && trace_capacity > 0) {
     trace = std::make_shared<obs::TraceRing>(trace_capacity, /*wall_clock=*/true);
   }
+  std::shared_ptr<obs::SpanRing> spans;
+  if (admin_port != 0 && span_capacity > 0) {
+    spans = std::make_shared<obs::SpanRing>(span_capacity, /*wall_clock=*/true);
+  }
   if (admin_port != 0) {
     cfg.registry = &registry;
     cfg.trace = trace;
+    cfg.spans = spans;
   }
 
   TcpNode node(cfg, factory);
   node.start();
+
+  // Flight recorder + commit-stall watchdog. The watchdog arms after the
+  // first commit (a cold cluster is "starting", not "stalled") and clears
+  // if commits resume.
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (!forensics_dir.empty()) {
+    obs::FlightRecorder::Sources src;
+    if (trace) {
+      src.traces = [id = cfg.id, trace] {
+        obs::TraceMeta meta;
+        meta.replica = id;
+        meta.dropped = trace->dropped();
+        meta.recorded = trace->recorded();
+        return obs::trace_meta_line(meta) + obs::to_ndjson(trace->events());
+      };
+    }
+    if (spans) {
+      src.spans = [spans] { return obs::spans_to_ndjson(spans->events()); };
+    }
+    src.metrics = [&registry] { return registry.snapshot().ndjson(); };
+    src.manifest_extra = [&node, id = cfg.id] {
+      return ",\"replica\":" + std::to_string(id) +
+             ",\"view\":" + std::to_string(node.current_view()) +
+             ",\"round\":" + std::to_string(node.current_round()) +
+             ",\"committed\":" + std::to_string(node.committed());
+    };
+    flight = std::make_unique<obs::FlightRecorder>(forensics_dir, src);
+  }
+  std::atomic<bool> stalled{false};
+
   std::unique_ptr<obs::AdminServer> admin;
   if (admin_port != 0) {
-    admin = std::make_unique<obs::AdminServer>(admin_port, &registry, trace);
+    obs::AdminServer::Options aopts;
+    aopts.registry = &registry;
+    aopts.trace = trace;
+    aopts.spans = spans;
+    aopts.replica = cfg.id;
+    aopts.health_fn = [&node, &stalled, stall_timeout_us] {
+      const std::uint64_t last = node.last_commit_wall_us();
+      timespec ts{};
+      clock_gettime(CLOCK_REALTIME, &ts);
+      const std::uint64_t now =
+          static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000 +
+          static_cast<std::uint64_t>(ts.tv_nsec) / 1'000;
+      const std::uint64_t age = (last == 0 || now < last) ? 0 : now - last;
+      std::string body = std::string(stalled.load(std::memory_order_relaxed)
+                                         ? "stalled"
+                                         : "ok") +
+                         " last_commit_age_us=" + std::to_string(age) +
+                         " view=" + std::to_string(node.current_view()) +
+                         " round=" + std::to_string(node.current_round()) +
+                         " committed=" + std::to_string(node.committed()) + "\n";
+      const int code = stalled.load(std::memory_order_relaxed) ? 503 : 200;
+      return std::make_pair(code, std::move(body));
+    };
+    if (flight) {
+      aopts.dump_fn = [&flight] { return flight->dump("admin"); };
+    }
+    admin = std::make_unique<obs::AdminServer>(admin_port, std::move(aopts));
     if (admin->running()) {
-      std::printf("bftnode: admin endpoint on 127.0.0.1:%u (/metrics /trace /healthz)\n",
-                  unsigned(admin->port()));
+      std::printf(
+          "bftnode: admin endpoint on 127.0.0.1:%u (/metrics /trace /spans /healthz /dump)\n",
+          unsigned(admin->port()));
     }
   }
   std::printf("bftnode: replica %u/%u (%s) listening on %s:%u%s\n", cfg.id, n,
@@ -148,6 +225,28 @@ int main(int argc, char** argv) {
   while (!g_stop) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(report_ms > 0 ? report_ms : 250));
+    if (stall_timeout_us > 0) {
+      const std::uint64_t last_commit = node.last_commit_wall_us();
+      timespec ts{};
+      clock_gettime(CLOCK_REALTIME, &ts);
+      const std::uint64_t now_us =
+          static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000 +
+          static_cast<std::uint64_t>(ts.tv_nsec) / 1'000;
+      const bool tripped =
+          last_commit != 0 && now_us > last_commit + stall_timeout_us;
+      const bool was_stalled = stalled.exchange(tripped, std::memory_order_relaxed);
+      if (tripped && !was_stalled) {
+        std::printf("bftnode: commit stall detected (%.1fs since last commit)\n",
+                    (now_us - last_commit) / 1e6);
+        if (flight) {
+          const std::string bundle = flight->dump("stall");
+          if (!bundle.empty()) {
+            std::printf("bftnode: forensics bundle: %s\n", bundle.c_str());
+          }
+        }
+        std::fflush(stdout);
+      }
+    }
     if (report_ms > 0) {
       const std::uint64_t now = node.committed();
       std::printf("committed=%llu (+%llu)\n", static_cast<unsigned long long>(now),
